@@ -1,0 +1,48 @@
+"""Ablation: baseline strength — ES (paper) vs support-pruned ES vs SQMB+TBS.
+
+The paper's ES verifies every road-connected segment.  A smarter baseline
+(not in the paper) prunes branches with zero historical support.  This
+ablation quantifies how much of SQMB+TBS's advantage survives against the
+stronger baseline — i.e. how much is due to the Con-Index bounds rather
+than to the weak baseline.
+"""
+
+from repro.core.query import SQuery
+from repro.eval import config
+from repro.eval.tables import format_table
+
+
+def _query(minutes: int) -> SQuery:
+    return SQuery(
+        config.CENTER_LOCATION,
+        config.DEFAULT_SETTINGS.start_time_s,
+        minutes * 60,
+        0.2,
+    )
+
+
+def test_ablation_baseline_strength(bench_engine, benchmark, emit):
+    rows = []
+    for minutes in (10, 20, 35):
+        ours = bench_engine.s_query(_query(minutes), algorithm="sqmb_tbs")
+        pruned = bench_engine.s_query(_query(minutes), algorithm="es_pruned")
+        full = bench_engine.s_query(_query(minutes), algorithm="es")
+        rows.append(
+            (
+                f"L={minutes}min",
+                f"sqmb={ours.cost.total_cost_ms:8.0f}ms  "
+                f"es_pruned={pruned.cost.total_cost_ms:8.0f}ms  "
+                f"es={full.cost.total_cost_ms:8.0f}ms",
+            )
+        )
+        assert ours.cost.total_cost_ms < full.cost.total_cost_ms
+        assert pruned.cost.total_cost_ms <= full.cost.total_cost_ms
+    emit(
+        "ablation_baselines",
+        format_table("Ablation — baseline strength (running time)", rows),
+    )
+    result = benchmark.pedantic(
+        lambda: bench_engine.s_query(_query(10), algorithm="es_pruned"),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert result.segments

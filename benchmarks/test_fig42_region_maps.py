@@ -1,0 +1,64 @@
+"""Fig 4.2: Prob-reachable region maps for L = 5 and 10 minutes.
+
+The paper shows Leaflet screenshots; we render ASCII maps and export
+GeoJSON.  Expected shape: the L = 10 region strictly contains the L = 5
+region and stretches farther along the primary arterials than along local
+roads.
+"""
+
+from pathlib import Path
+
+from repro.core.query import SQuery
+from repro.eval import config
+from repro.network.model import RoadLevel
+from repro.viz.ascii_map import render_region
+from repro.viz.geojson import write_geojson
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _query(minutes: int) -> SQuery:
+    return SQuery(
+        config.CENTER_LOCATION,
+        config.DEFAULT_SETTINGS.start_time_s,
+        minutes * 60,
+        0.2,
+    )
+
+
+def test_fig42_region_maps(bench_engine, bench_dataset, benchmark, emit):
+    small = bench_engine.s_query(_query(5))
+    large = benchmark(lambda: bench_engine.s_query(_query(10)))
+    art = []
+    for minutes, result in ((5, small), (10, large)):
+        art.append(f"Fig 4.2 — Prob=20%, L={minutes} min "
+                   f"({len(result.segments)} segments)")
+        art.append(render_region(result, bench_dataset.network))
+        RESULTS.mkdir(exist_ok=True)
+        write_geojson(
+            result, bench_dataset.network,
+            RESULTS / f"fig42_L{minutes}.geojson",
+        )
+    emit("fig42_maps", "\n".join(art))
+    # Monotone containment in road space.
+    small_roads = {
+        bench_dataset.network.segment(s).canonical_id() for s in small.segments
+    }
+    large_roads = {
+        bench_dataset.network.segment(s).canonical_id() for s in large.segments
+    }
+    assert small_roads <= large_roads
+    # Primary reach exceeds secondary reach (highway elongation).
+    def max_distance(result, level):
+        distances = [
+            bench_dataset.network.segment(s).midpoint.distance_to(
+                config.CENTER_LOCATION
+            )
+            for s in result.segments
+            if bench_dataset.network.segment(s).level == level
+        ]
+        return max(distances, default=0.0)
+
+    assert max_distance(large, RoadLevel.PRIMARY) >= max_distance(
+        large, RoadLevel.SECONDARY
+    )

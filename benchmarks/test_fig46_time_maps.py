@@ -1,0 +1,39 @@
+"""Fig 4.6: region maps at T = 01:00, 06:00, 12:00, 18:00 (Prob 80%, L 5).
+
+Expected shape: the 18:00 (evening rush) region is the smallest; changes
+concentrate on low-speed local roads while the highway skeleton stays
+comparatively stable.
+"""
+
+from repro.core.query import SQuery
+from repro.eval import config
+from repro.trajectory.model import day_time
+from repro.viz.ascii_map import render_region
+
+
+def test_fig46_start_time_maps(bench_engine, bench_dataset, benchmark, emit):
+    network = bench_dataset.network
+    results = {}
+    for hour in (1, 6, 12, 18):
+        query = SQuery(config.CENTER_LOCATION, day_time(hour), 300, 0.8)
+        results[hour] = bench_engine.s_query(query)
+    benchmark(
+        lambda: bench_engine.s_query(
+            SQuery(config.CENTER_LOCATION, day_time(12), 300, 0.8)
+        )
+    )
+    art = []
+    for hour, result in results.items():
+        art.append(
+            f"Fig 4.6 — T={hour:02d}:00, Prob=80%, L=5min "
+            f"({len(result.segments)} segments, "
+            f"{result.road_length_m(network) / 1000:.1f} km)"
+        )
+        art.append(render_region(result, network))
+    emit("fig46_time_maps", "\n".join(art))
+
+    lengths = {
+        hour: result.road_length_m(network) for hour, result in results.items()
+    }
+    # 18:00 must be the smallest (or tied), as in the paper.
+    assert lengths[18] <= min(lengths[1], lengths[6], lengths[12]) * 1.25

@@ -1,0 +1,100 @@
+"""Fig 4.8: m-query (MQMB+TBS) vs repeated s-query (SQMB+TBS x N).
+
+(a) 3 locations, running time over duration L — m-query consistently
+    cheaper, up to ~70% at L = 35 min in the paper;
+(b) running time over the number of locations (T = 10:00, L = 20 min) —
+    s-query cost grows linearly with N, m-query stays near-constant
+    (up to ~90% saving at 9 locations in the paper); with a single
+    location the two coincide.
+"""
+
+import pytest
+
+from repro.core.query import MQuery
+from repro.eval import config
+from repro.eval.runner import run_location_count_sweep, run_mquery_duration_sweep
+from repro.eval.tables import format_series
+from repro.trajectory.model import day_time
+
+
+@pytest.fixture(scope="module")
+def duration_sweep(bench_engine, emit):
+    points = run_mquery_duration_sweep(
+        bench_engine,
+        config.M_QUERY_LOCATIONS[:3],
+        config.DURATIONS_S,
+        config.DEFAULT_SETTINGS.start_time_s,
+        prob=0.2,
+    )
+    emit(
+        "fig48a_duration",
+        format_series(
+            "Fig 4.8(a) — m-query vs 3x s-query running time (ms) over L",
+            points, metric="running_time_ms", x_name="L (min)",
+        ),
+    )
+    return points
+
+
+@pytest.fixture(scope="module")
+def count_sweep(bench_engine, emit):
+    points = run_location_count_sweep(
+        bench_engine,
+        config.M_QUERY_LOCATIONS,
+        config.LOCATION_COUNTS,
+        day_time(10),
+        duration_s=1200,
+        prob=0.2,
+    )
+    emit(
+        "fig48b_locations",
+        format_series(
+            "Fig 4.8(b) — m-query vs s-query running time (ms) over #locations",
+            points, metric="running_time_ms", x_name="#locs",
+        ),
+    )
+    return points
+
+
+def test_fig48a_mquery_wins_at_every_duration(duration_sweep):
+    ours = {p.x: p for p in duration_sweep if p.label == "m-query"}
+    naive = {p.x: p for p in duration_sweep if p.label == "s-query"}
+    for minutes in ours:
+        assert ours[minutes].running_time_ms <= naive[minutes].running_time_ms
+
+
+def test_fig48b_linear_vs_constant(count_sweep):
+    ours = {p.x: p.running_time_ms for p in count_sweep if p.label == "m-query"}
+    naive = {p.x: p.running_time_ms for p in count_sweep if p.label == "s-query"}
+    # Naive grows steeply with N; m-query grows much more slowly.
+    assert naive[9] > 3.0 * naive[1]
+    assert ours[9] < 0.66 * naive[9]  # >= 34% saving at 9 locations
+    # With a single location the two algorithms essentially coincide.
+    assert ours[1] == pytest.approx(naive[1], rel=0.35)
+
+
+def test_fig48_region_agreement(bench_engine):
+    query = MQuery(
+        config.M_QUERY_LOCATIONS[:3], day_time(10), 1200, 0.2
+    )
+    merged = bench_engine.m_query(query, algorithm="mqmb_tbs")
+    naive = bench_engine.m_query(query, algorithm="sqmb_tbs_each")
+    union = merged.segments | naive.segments
+    assert union
+    jaccard = len(merged.segments & naive.segments) / len(union)
+    assert jaccard >= 0.9
+
+
+def test_bench_mqmb_three_locations(bench_engine, benchmark, duration_sweep):
+    query = MQuery(config.M_QUERY_LOCATIONS[:3], day_time(10), 1200, 0.2)
+    result = benchmark(lambda: bench_engine.m_query(query))
+    assert result.segments
+
+
+def test_bench_naive_three_locations(bench_engine, benchmark, count_sweep):
+    query = MQuery(config.M_QUERY_LOCATIONS[:3], day_time(10), 1200, 0.2)
+    result = benchmark.pedantic(
+        lambda: bench_engine.m_query(query, algorithm="sqmb_tbs_each"),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert result.segments

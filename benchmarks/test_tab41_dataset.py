@@ -1,0 +1,19 @@
+"""Table 4.1: dataset description.
+
+Paper: Shenzhen, 400 sq miles, 3M people, 30 days (Nov 2014), 21,385 taxis,
+407,040,083 GPS records.  Ours: the ShenzhenLike synthetic city at
+laptop scale — same structure, smaller numbers.  The benchmark measures the
+dataset-statistics scan.
+"""
+
+from repro.eval.tables import format_table
+
+
+def test_tab41_dataset_description(bench_dataset, benchmark, emit):
+    stats = benchmark(bench_dataset.database.stats)
+    rows = bench_dataset.describe()
+    emit("tab41_dataset", format_table("Table 4.1 — Dataset Description", rows))
+    assert stats.num_trajectories == (
+        bench_dataset.config.num_taxis * bench_dataset.config.num_days
+    )
+    assert stats.num_visits > 1_000_000

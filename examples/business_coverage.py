@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Business coverage analysis: what do three chain branches reach together?
+
+The paper's third motivating application (§1.1): a chained business (UPS,
+McDonald's, ...) wants its overall spatial coverage — the union of the
+spatio-temporal reachable regions of all branches.  That is exactly an
+m-query, and the MQMB algorithm answers it far faster than running one
+s-query per branch because the branches' regions overlap downtown.
+
+Usage::
+
+    python examples/business_coverage.py
+"""
+
+from repro import ReachabilityEngine, MQuery, Point, day_time
+from repro.datasets.shenzhen_like import ShenzhenLikeConfig, build_shenzhen_like
+from repro.viz.ascii_map import render_region
+
+BRANCHES = (
+    Point(0.0, 0.0),        # flagship, downtown
+    Point(3200.0, 2400.0),  # north-east branch
+    Point(-2400.0, -1600.0),  # south-west branch
+)
+
+DEMO_CONFIG = ShenzhenLikeConfig(
+    grid_rows=7,
+    grid_cols=7,
+    spacing_m=2400.0,
+    granularity_m=800.0,
+    primary_every=3,
+    num_taxis=120,
+    num_days=15,
+)
+
+
+def main() -> None:
+    print("Building dataset ...")
+    dataset = build_shenzhen_like(DEMO_CONFIG)
+    engine = ReachabilityEngine(dataset.network, dataset.database)
+
+    query = MQuery(
+        locations=BRANCHES,
+        start_time_s=day_time(10),
+        duration_s=15 * 60,
+        prob=0.2,
+    )
+
+    print("\nAnswering the m-query with MQMB+TBS ...")
+    merged = engine.m_query(query, algorithm="mqmb_tbs")
+    print("Answering it as three independent s-queries ...")
+    naive = engine.m_query(query, algorithm="sqmb_tbs_each")
+
+    km = merged.road_length_m(dataset.network) / 1000.0
+    print(f"\n=== Combined coverage: {len(merged.segments)} segments, {km:.1f} km ===")
+    print(render_region(merged, dataset.network, width=60, height=24))
+
+    print("\nCost comparison:")
+    for name, result in (("MQMB+TBS", merged), ("3 x SQMB+TBS", naive)):
+        cost = result.cost
+        print(
+            f"  {name:>13}: {cost.total_cost_ms:8.0f} ms "
+            f"({cost.io.page_reads} page reads, "
+            f"{cost.probability_checks} probability checks)"
+        )
+    saving = 100.0 * (1.0 - merged.cost.total_cost_ms / naive.cost.total_cost_ms)
+    overlap = len(merged.segments & naive.segments)
+    union = len(merged.segments | naive.segments)
+    print(f"  MQMB+TBS saves {saving:.0f}% by expanding the overlapping "
+          f"downtown area once (region agreement {overlap}/{union}).")
+
+
+if __name__ == "__main__":
+    main()

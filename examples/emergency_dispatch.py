@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Emergency dispatch analysis: who can respond within 10 minutes — really?
+
+The paper's fourth motivating application (§1.1): a dispatcher needs to
+know which parts of the city a responder at a given station can actually
+cover within a deadline, at the *current* time of day and with a confidence
+requirement.  A distance-based range query would answer the same circle at
+03:00 and at 18:00; the data-driven reachability query does not.
+
+The script sweeps the confidence level (Prob) and the time of day for one
+station, showing how guaranteed coverage (Prob = 100%) is much smaller than
+best-case coverage (Prob = 20%), and how rush hour erodes both.
+
+Usage::
+
+    python examples/emergency_dispatch.py
+"""
+
+from repro import ReachabilityEngine, SQuery, Point, day_time
+from repro.datasets.shenzhen_like import ShenzhenLikeConfig, build_shenzhen_like
+
+STATION = Point(0.0, 0.0)
+DEADLINE_S = 10 * 60
+
+DEMO_CONFIG = ShenzhenLikeConfig(
+    grid_rows=7,
+    grid_cols=7,
+    spacing_m=2400.0,
+    granularity_m=800.0,
+    primary_every=3,
+    num_taxis=120,
+    num_days=15,
+)
+
+
+def main() -> None:
+    print("Building dataset ...")
+    dataset = build_shenzhen_like(DEMO_CONFIG)
+    engine = ReachabilityEngine(dataset.network, dataset.database)
+
+    print(f"\nStation at {STATION.as_tuple()}, deadline "
+          f"{DEADLINE_S // 60} minutes.\n")
+
+    print("Coverage by confidence level (at 11:00):")
+    print(f"  {'Prob':>6}  {'segments':>9}  {'road km':>8}")
+    for prob in (0.2, 0.4, 0.6, 0.8, 1.0):
+        query = SQuery(STATION, day_time(11), DEADLINE_S, prob)
+        result = engine.s_query(query)
+        km = result.road_length_m(dataset.network) / 1000.0
+        print(f"  {prob:>6.0%}  {len(result.segments):>9}  {km:>8.1f}")
+
+    print("\nGuaranteed coverage (Prob = 80%) over the day:")
+    print(f"  {'time':>6}  {'segments':>9}  {'road km':>8}")
+    for hour in (1, 6, 8, 11, 14, 18, 21):
+        query = SQuery(STATION, day_time(hour), DEADLINE_S, 0.8)
+        result = engine.s_query(query)
+        km = result.road_length_m(dataset.network) / 1000.0
+        print(f"  {hour:>4}:00  {len(result.segments):>9}  {km:>8.1f}")
+
+    print("\nNote the dips around 08:00 and 18:00 — rush-hour congestion "
+          "shrinks what a responder can actually cover, which is exactly "
+          "the effect the paper's Figs 4.5/4.6 demonstrate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Location-based advertising: where can customers reach the mall from?
+
+Re-creates the paper's Fig 1.2 scenario: a shopping mall plans a coupon
+campaign and wants the region from which the mall is reachable within 10
+minutes — which is *time-varying*: at off-peak (13:00) the region is much
+larger than during the evening rush (18:00), when congestion shrinks it.
+
+The script answers the same query at both times, prints the two regions
+side by side, and exports them as GeoJSON for a web map.
+
+Usage::
+
+    python examples/location_advertising.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import ReachabilityEngine, SQuery, Point, day_time
+from repro.datasets.shenzhen_like import ShenzhenLikeConfig, build_shenzhen_like
+from repro.viz.ascii_map import render_region
+from repro.viz.geojson import write_geojson
+
+MALL_LOCATION = Point(0.0, 0.0)  # the downtown mall
+
+DEMO_CONFIG = ShenzhenLikeConfig(
+    grid_rows=7,
+    grid_cols=7,
+    spacing_m=2400.0,
+    granularity_m=800.0,
+    primary_every=3,
+    num_taxis=120,
+    num_days=15,
+)
+
+
+def main() -> None:
+    output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    print("Building dataset ...")
+    dataset = build_shenzhen_like(DEMO_CONFIG)
+    engine = ReachabilityEngine(dataset.network, dataset.database)
+
+    results = {}
+    for label, hour in (("off-peak 13:00", 13), ("evening rush 18:00", 18)):
+        query = SQuery(
+            location=MALL_LOCATION,
+            start_time_s=day_time(hour),
+            duration_s=10 * 60,
+            prob=0.2,
+        )
+        result = engine.s_query(query)
+        results[label] = result
+        km = result.road_length_m(dataset.network) / 1000.0
+        print(f"\n=== Reachable region at {label}: "
+              f"{len(result.segments)} segments, {km:.1f} km ===")
+        print(render_region(result, dataset.network, width=60, height=24))
+
+    off_peak = results["off-peak 13:00"]
+    rush = results["evening rush 18:00"]
+    off_km = off_peak.road_length_m(dataset.network) / 1000.0
+    rush_km = rush.road_length_m(dataset.network) / 1000.0
+    print(f"\nRush-hour shrinkage: {off_km:.1f} km -> {rush_km:.1f} km "
+          f"({100 * (1 - rush_km / max(off_km, 1e-9)):.0f}% smaller), "
+          "matching the paper's Fig 1.2 observation.")
+
+    for label, result in results.items():
+        name = label.split()[0].replace("-", "") + ".geojson"
+        path = write_geojson(result, dataset.network, output_dir / name)
+        print(f"GeoJSON written: {path}")
+
+
+if __name__ == "__main__":
+    main()

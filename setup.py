@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy `pip install -e .` in offline environments
+where the `wheel` package (needed for PEP 660 editable installs) is absent.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

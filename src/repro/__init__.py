@@ -1,0 +1,76 @@
+"""repro: Mining Spatio-Temporal Reachable Regions over Massive Trajectory Data.
+
+A from-scratch reproduction of Ding (2017): a data-driven spatio-temporal
+reachability query system over massive trajectory data, with the ST-Index,
+Con-Index, and the SQMB / TBS / MQMB query-processing algorithms, plus every
+substrate they depend on (spatial indexes, road networks, a taxi-trajectory
+generator, map matching, and a simulated disk with I/O accounting).
+
+Quickstart::
+
+    from repro import (
+        ReachabilityEngine, SQuery, build_shenzhen_like, day_time, Point,
+    )
+
+    dataset = build_shenzhen_like()
+    engine = ReachabilityEngine(dataset.network, dataset.database)
+    query = SQuery(
+        location=Point(0.0, 0.0),
+        start_time_s=day_time(11),
+        duration_s=10 * 60,
+        prob=0.2,
+    )
+    result = engine.s_query(query)
+    print(len(result.segments), "reachable segments")
+"""
+
+from repro.core import (
+    ConnectionIndex,
+    MQuery,
+    ProbabilityEstimator,
+    QueryResult,
+    ReachabilityEngine,
+    SQuery,
+    STIndex,
+)
+from repro.datasets import (
+    ShenzhenLikeConfig,
+    ShenzhenLikeDataset,
+    build_shenzhen_like,
+    default_dataset,
+)
+from repro.network import RoadNetwork, grid_city, resegment
+from repro.preprocessing import PreprocessingPipeline
+from repro.spatial.geometry import Point
+from repro.trajectory import (
+    SpeedProfile,
+    TaxiFleetGenerator,
+    TrajectoryDatabase,
+    day_time,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReachabilityEngine",
+    "SQuery",
+    "MQuery",
+    "QueryResult",
+    "STIndex",
+    "ConnectionIndex",
+    "ProbabilityEstimator",
+    "RoadNetwork",
+    "grid_city",
+    "resegment",
+    "PreprocessingPipeline",
+    "Point",
+    "SpeedProfile",
+    "TaxiFleetGenerator",
+    "TrajectoryDatabase",
+    "day_time",
+    "ShenzhenLikeConfig",
+    "ShenzhenLikeDataset",
+    "build_shenzhen_like",
+    "default_dataset",
+    "__version__",
+]

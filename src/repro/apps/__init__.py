@@ -1,0 +1,28 @@
+"""Application layer: the paper's §1.1 use cases as first-class APIs.
+
+* :mod:`~repro.apps.recommendation` — location-based recommendation: rank
+  the POIs a user can actually reach in time (§1.1 application 1).
+* :mod:`~repro.apps.coverage` — business coverage analysis for a chain of
+  branches, with marginal-contribution attribution (§1.1 application 3).
+* :mod:`~repro.apps.isochrone` — multi-duration reachability contours,
+  computed in one shared pass (the map products of Figs 4.2/4.4/4.6).
+* :mod:`~repro.apps.eta` — historical earliest-arrival profiles between
+  two locations (dispatching / navigation analytics).
+"""
+
+from repro.apps.coverage import BranchCoverage, CoverageReport, analyze_coverage
+from repro.apps.eta import ArrivalProfile, arrival_profile
+from repro.apps.isochrone import IsochroneBand, isochrones
+from repro.apps.recommendation import RankedPOI, recommend_pois
+
+__all__ = [
+    "recommend_pois",
+    "RankedPOI",
+    "analyze_coverage",
+    "CoverageReport",
+    "BranchCoverage",
+    "isochrones",
+    "IsochroneBand",
+    "arrival_profile",
+    "ArrivalProfile",
+]

@@ -1,0 +1,144 @@
+"""Historical arrival-time profiles between two locations.
+
+The same time lists that answer reachability queries also contain *when*
+reachability happened: for each day, the earliest Δt-window in which some
+trajectory that left the origin during the first slot shows up at the
+destination.  :func:`arrival_profile` extracts that per-day distribution
+and summarises it into the numbers a dispatcher or navigation feature
+wants: how many minutes until the destination is reachable on a typical /
+bad day, and on what fraction of days it is reachable at all.
+
+Granularity is the index's Δt (the time lists do not store per-visit
+timestamps — Fig 3.2 keys them by slot), so estimates are upper bounds
+rounded up to whole slots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.engine import ReachabilityEngine
+from repro.spatial.geometry import Point
+
+
+@dataclass
+class ArrivalProfile:
+    """Per-day earliest arrival estimates between two locations.
+
+    Attributes:
+        origin_segment / target_segment: resolved road segments.
+        horizon_s: search horizon (arrival beyond it counts as a miss).
+        per_day_s: day -> earliest arrival bound in seconds (slot-rounded);
+            days with no connecting trajectory are absent.
+        reachable_days / total_days: support counts.
+    """
+
+    origin_segment: int
+    target_segment: int
+    horizon_s: int
+    per_day_s: dict[int, int] = field(default_factory=dict)
+    reachable_days: int = 0
+    total_days: int = 0
+
+    @property
+    def reachability(self) -> float:
+        """Fraction of days with any connection within the horizon."""
+        return self.reachable_days / self.total_days if self.total_days else 0.0
+
+    def percentile_s(self, fraction: float) -> int | None:
+        """Arrival-time bound at the given percentile over *reachable* days.
+
+        Args:
+            fraction: e.g. ``0.5`` for the median day, ``0.9`` for a bad day.
+
+        Returns:
+            Seconds, or None when no day connects.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        values = sorted(self.per_day_s.values())
+        if not values:
+            return None
+        index = min(len(values) - 1, math.ceil(fraction * len(values)) - 1)
+        return values[index]
+
+    def to_rows(self) -> list[tuple[str, str]]:
+        median = self.percentile_s(0.5)
+        p90 = self.percentile_s(0.9)
+        return [
+            ("reachable days", f"{self.reachable_days}/{self.total_days} "
+                               f"({self.reachability:.0%})"),
+            ("median arrival", f"<= {median // 60} min" if median else "-"),
+            ("90th-pct arrival", f"<= {p90 // 60} min" if p90 else "-"),
+        ]
+
+
+def arrival_profile(
+    engine: ReachabilityEngine,
+    origin: Point,
+    target: Point,
+    start_time_s: float,
+    horizon_s: int = 3600,
+    delta_t_s: int = 300,
+) -> ArrivalProfile:
+    """Per-day earliest-arrival distribution from ``origin`` to ``target``.
+
+    For each day, finds the smallest ``k`` such that a trajectory that
+    passed the origin road during ``[T, T+Δt]`` also passed the target road
+    within ``[T, T+k·Δt]``; the bound reported is ``k·Δt``.
+
+    Args:
+        engine: a built reachability engine.
+        origin / target: the two locations.
+        start_time_s: departure time ``T``.
+        horizon_s: give up after this long.
+        delta_t_s: index granularity (also the estimate resolution).
+    """
+    st = engine.st_index(delta_t_s)
+    network = engine.network
+    origin_segment = st.find_start_segment(origin)
+    target_segment = st.find_start_segment(target)
+
+    def merged_window(segment_id: int, start_s: float, end_s: float):
+        merged = st.trajectories_in_window(segment_id, start_s, end_s)
+        twin = network.segment(segment_id).twin_id
+        if twin is not None and network.has_segment(twin):
+            for date, ids in st.trajectories_in_window(
+                twin, start_s, end_s
+            ).items():
+                merged.setdefault(date, set()).update(ids)
+        return merged
+
+    start_sets = merged_window(
+        origin_segment, start_time_s, start_time_s + delta_t_s
+    )
+    profile = ArrivalProfile(
+        origin_segment=origin_segment,
+        target_segment=target_segment,
+        horizon_s=horizon_s,
+        total_days=engine.database.num_days,
+    )
+    if not start_sets:
+        return profile
+    steps = -(-horizon_s // delta_t_s)
+    pending = {date for date, ids in start_sets.items() if ids}
+    cumulative: dict[int, set[int]] = {}
+    for k in range(1, steps + 1):
+        if not pending:
+            break
+        window_start = start_time_s + (k - 1) * delta_t_s
+        window_end = min(start_time_s + k * delta_t_s, start_time_s + horizon_s)
+        for date, ids in merged_window(
+            target_segment, window_start, window_end
+        ).items():
+            cumulative.setdefault(date, set()).update(ids)
+        arrived = set()
+        for date in pending:
+            seen = cumulative.get(date)
+            if seen and not start_sets[date].isdisjoint(seen):
+                profile.per_day_s[date] = k * delta_t_s
+                arrived.add(date)
+        pending -= arrived
+    profile.reachable_days = len(profile.per_day_s)
+    return profile

@@ -1,0 +1,146 @@
+"""Multi-duration reachability contours (isochrones).
+
+The paper's map figures (4.2, 4.4, 4.6) each show one region at one
+duration.  A map product wants the whole family — the 5/10/15/... minute
+contours around a location — and computing them as independent s-queries
+re-reads the same time lists once per duration.  :func:`isochrones`
+computes the family in one pass: probabilities for the *longest* horizon
+are evaluated per Δt-prefix window, so each time list is read once and
+every shorter contour falls out of the same reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import ReachabilityEngine
+from repro.core.query import SQuery
+from repro.core.sqmb import sqmb_bounding_region
+from repro.spatial.geometry import Point
+
+
+@dataclass
+class IsochroneBand:
+    """One contour: everything reachable within ``duration_s``.
+
+    Attributes:
+        duration_s: the travel budget of this band.
+        segments: the Prob-reachable segments within the budget
+            (cumulative: each band contains the previous ones).
+        road_km: total road length of the band.
+    """
+
+    duration_s: int
+    segments: set[int] = field(default_factory=set)
+    road_km: float = 0.0
+
+
+def isochrones(
+    engine: ReachabilityEngine,
+    location: Point,
+    start_time_s: float,
+    durations_s: list[int],
+    prob: float = 0.2,
+    delta_t_s: int = 300,
+) -> list[IsochroneBand]:
+    """Compute nested Prob-reachable contours for several durations.
+
+    One maximum bounding region (for the longest duration) is traced; for
+    every segment in it the *earliest* Δt-window in which it becomes
+    Prob-reachable is found with shared time-list reads, and each requested
+    duration keeps the segments whose earliest window fits.
+
+    Args:
+        engine: a built reachability engine.
+        location: contour centre.
+        start_time_s: ``T``.
+        durations_s: sorted-ascending travel budgets (seconds).
+        prob: confidence threshold.
+        delta_t_s: index granularity.
+
+    Returns:
+        One band per requested duration, ascending, cumulative.
+    """
+    if not durations_s:
+        return []
+    ordered = sorted(durations_s)
+    horizon = ordered[-1]
+    st = engine.st_index(delta_t_s)
+    con = engine.con_index(delta_t_s)
+    network = engine.network
+    num_days = engine.database.num_days
+    start_segment = st.find_start_segment(location)
+
+    # Start-slot trajectory sets, read once.
+    def merged_window(segment_id: int, start_s: float, end_s: float):
+        merged = st.trajectories_in_window(segment_id, start_s, end_s)
+        twin = network.segment(segment_id).twin_id
+        if twin is not None and network.has_segment(twin):
+            for date, ids in st.trajectories_in_window(
+                twin, start_s, end_s
+            ).items():
+                merged.setdefault(date, set()).update(ids)
+        return merged
+
+    start_sets = merged_window(
+        start_segment, start_time_s, start_time_s + delta_t_s
+    )
+    if not any(start_sets.values()):
+        return [IsochroneBand(duration_s=d) for d in ordered]
+
+    max_region = sqmb_bounding_region(
+        con, start_segment, start_time_s, horizon, "far"
+    )
+
+    def earliest_window(segment_id: int) -> int | None:
+        """Smallest k (slots) such that the segment is Prob-reachable
+        within k*Δt; None if never within the horizon."""
+        per_day_hits: dict[int, bool] = {}
+        good_days = 0
+        steps = -(-horizon // delta_t_s)  # ceil
+        cumulative: dict[int, set[int]] = {}
+        for k in range(1, steps + 1):
+            window_start = start_time_s + (k - 1) * delta_t_s
+            window_end = min(start_time_s + k * delta_t_s, start_time_s + horizon)
+            for date, ids in merged_window(
+                segment_id, window_start, window_end
+            ).items():
+                cumulative.setdefault(date, set()).update(ids)
+            good_days = 0
+            for date, start_ids in start_sets.items():
+                seen = cumulative.get(date)
+                if seen and not start_ids.isdisjoint(seen):
+                    good_days += 1
+            if good_days / num_days >= prob:
+                return k * delta_t_s
+        return None
+
+    reach_time: dict[int, int] = {}
+    for segment_id in max_region.cover:
+        canonical_twin = network.segment(segment_id).twin_id
+        if canonical_twin is not None and canonical_twin in reach_time:
+            reach_time[segment_id] = reach_time[canonical_twin]
+            continue
+        earliest = earliest_window(segment_id)
+        if earliest is not None:
+            reach_time[segment_id] = earliest
+
+    bands: list[IsochroneBand] = []
+    for duration in ordered:
+        segments = {
+            segment_id
+            for segment_id, earliest in reach_time.items()
+            if earliest <= duration
+        }
+        band = IsochroneBand(duration_s=duration, segments=segments)
+        seen: set[int] = set()
+        total = 0.0
+        for segment_id in segments:
+            segment = network.segment(segment_id)
+            canonical = segment.canonical_id()
+            if canonical not in seen:
+                seen.add(canonical)
+                total += segment.length
+        band.road_km = total / 1000.0
+        bands.append(band)
+    return bands

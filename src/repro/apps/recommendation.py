@@ -1,0 +1,113 @@
+"""Location-based recommendation (§1.1, application 1).
+
+"When a user wants to find a nearby restaurant based on her current
+location and time, the spatio-temporal reachable region provides a
+candidate list for location recommendations."
+
+:func:`recommend_pois` answers exactly that: given the user's location and
+time, a deadline, and a set of POIs, it runs one s-query and returns the
+POIs inside the Prob-reachable region, ranked by reachability probability
+(descending) and then straight-line distance (ascending).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import ReachabilityEngine
+from repro.core.query import SQuery
+from repro.spatial.geometry import Point
+
+
+@dataclass(frozen=True)
+class POI:
+    """A point of interest: a name and a location."""
+
+    name: str
+    location: Point
+    category: str = ""
+
+
+@dataclass(frozen=True)
+class RankedPOI:
+    """A recommended POI with its reachability evidence.
+
+    Attributes:
+        poi: the point of interest.
+        segment_id: the road segment the POI resolves to.
+        probability: reachability probability of that segment, when the
+            query verified it explicitly (segments deep inside the region
+            are accepted without verification; they report ``None``).
+        distance_m: straight-line distance from the user.
+    """
+
+    poi: POI
+    segment_id: int
+    probability: float | None
+    distance_m: float
+
+
+def recommend_pois(
+    engine: ReachabilityEngine,
+    user_location: Point,
+    start_time_s: float,
+    deadline_s: float,
+    pois: list[POI],
+    prob: float = 0.2,
+    top_k: int | None = None,
+    delta_t_s: int = 300,
+) -> list[RankedPOI]:
+    """Rank the POIs reachable from the user within the deadline.
+
+    Args:
+        engine: a built reachability engine.
+        user_location: the user's current location.
+        start_time_s: current time of day (seconds since midnight).
+        deadline_s: travel budget ``L`` in seconds.
+        pois: candidate POIs.
+        prob: required reachability confidence.
+        top_k: truncate the ranking (None = all reachable POIs).
+        delta_t_s: index granularity.
+
+    Returns:
+        Reachable POIs, most-probable and nearest first.
+    """
+    if not pois:
+        return []
+    query = SQuery(
+        location=user_location,
+        start_time_s=start_time_s,
+        duration_s=deadline_s,
+        prob=prob,
+    )
+    result = engine.s_query(query, delta_t_s=delta_t_s)
+    st = engine.st_index(delta_t_s)
+    network = engine.network
+    region_roads = {
+        network.segment(s).canonical_id() for s in result.segments
+    }
+    ranked: list[RankedPOI] = []
+    for poi in pois:
+        segment_id = st.find_start_segment(poi.location)
+        if network.segment(segment_id).canonical_id() not in region_roads:
+            continue
+        probability = result.probabilities.get(segment_id)
+        if probability is None:
+            twin = network.segment(segment_id).twin_id
+            if twin is not None:
+                probability = result.probabilities.get(twin)
+        ranked.append(
+            RankedPOI(
+                poi=poi,
+                segment_id=segment_id,
+                probability=probability,
+                distance_m=user_location.distance_to(poi.location),
+            )
+        )
+    ranked.sort(
+        key=lambda r: (
+            -(r.probability if r.probability is not None else 1.0),
+            r.distance_m,
+        )
+    )
+    return ranked[:top_k] if top_k is not None else ranked

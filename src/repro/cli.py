@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro build-dataset --out DIR [--taxis N --days N ...]
+    python -m repro describe --dataset DIR
+    python -m repro query   --dataset DIR --x 0 --y 0 --time 11:00 \
+                            --duration 10 --prob 0.2 [--algorithm sqmb_tbs]
+    python -m repro mquery  --dataset DIR --location 0,0 --location 3000,2000 ...
+    python -m repro rquery  --dataset DIR --x 0 --y 0 ...
+
+``build-dataset`` generates and persists a synthetic ShenzhenLike dataset;
+the query commands load it, build indexes, answer, and print the region as
+an ASCII map plus cost metrics (optionally exporting GeoJSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.engine import ReachabilityEngine
+from repro.core.query import MQuery, SQuery
+from repro.spatial.geometry import Point
+from repro.trajectory.model import day_time
+
+
+def _parse_time(text: str) -> int:
+    """'11:00' or '11:05:30' -> seconds since midnight."""
+    parts = text.split(":")
+    if not 1 <= len(parts) <= 3:
+        raise argparse.ArgumentTypeError(f"bad time {text!r}, want HH[:MM[:SS]]")
+    try:
+        numbers = [int(p) for p in parts] + [0, 0]
+        return day_time(numbers[0], numbers[1], numbers[2])
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _parse_location(text: str) -> Point:
+    """'x,y' -> local-plane Point."""
+    try:
+        x, y = (float(v) for v in text.split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad location {text!r}, want X,Y") from exc
+    return Point(x, y)
+
+
+def _add_query_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", required=True, help="dataset directory")
+    parser.add_argument("--time", type=_parse_time, default=day_time(11),
+                        help="start time of day, HH[:MM[:SS]] (default 11:00)")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="duration L in minutes (default 10)")
+    parser.add_argument("--prob", type=float, default=0.2,
+                        help="probability threshold (default 0.2)")
+    parser.add_argument("--delta-t", type=int, default=5,
+                        help="index granularity Δt in minutes (default 5)")
+    parser.add_argument("--geojson", type=Path, default=None,
+                        help="write the region to this GeoJSON file")
+    parser.add_argument("--no-map", action="store_true",
+                        help="skip the ASCII map")
+
+
+class CLIError(Exception):
+    """User-facing CLI failure (bad paths, unreadable datasets)."""
+
+
+def _load_engine(dataset_dir: str) -> tuple:
+    from repro.io.persist import load_dataset
+
+    try:
+        dataset = load_dataset(dataset_dir)
+    except FileNotFoundError as exc:
+        raise CLIError(
+            f"no dataset at {dataset_dir!r} (missing {exc.filename}); "
+            "create one with: python -m repro build-dataset --out "
+            f"{dataset_dir}"
+        ) from exc
+    engine = ReachabilityEngine(dataset.network, dataset.database)
+    return dataset, engine
+
+
+def _print_result(args, dataset, result) -> int:
+    from repro.viz.ascii_map import render_region
+
+    km = result.road_length_m(dataset.network) / 1000.0
+    print(f"Prob-reachable region: {len(result.segments)} segments, {km:.1f} km")
+    cost = result.cost
+    print(
+        f"running time: {cost.total_cost_ms:.0f} ms "
+        f"(wall {cost.wall_time_s * 1e3:.1f} ms + simulated I/O "
+        f"{cost.simulated_io_ms:.0f} ms over {cost.io.page_reads} page reads; "
+        f"{cost.probability_checks} probability checks)"
+    )
+    if not args.no_map:
+        print(render_region(result, dataset.network))
+    if args.geojson is not None:
+        from repro.viz.geojson import write_geojson
+
+        path = write_geojson(result, dataset.network, args.geojson)
+        print(f"GeoJSON written to {path}")
+    return 0
+
+
+def cmd_build_dataset(args) -> int:
+    from repro.datasets.shenzhen_like import (
+        ShenzhenLikeConfig,
+        build_shenzhen_like,
+    )
+    from repro.io.persist import save_dataset
+
+    config = ShenzhenLikeConfig(
+        grid_rows=args.grid,
+        grid_cols=args.grid,
+        num_taxis=args.taxis,
+        num_days=args.days,
+        seed=args.seed,
+    )
+    print(f"Building dataset ({args.taxis} taxis x {args.days} days) ...")
+    dataset = build_shenzhen_like(config)
+    save_dataset(dataset, args.out)
+    for key, value in dataset.describe():
+        print(f"  {key}: {value}")
+    print(f"Saved to {args.out}")
+    return 0
+
+
+def cmd_describe(args) -> int:
+    dataset, _ = _load_engine(args.dataset)
+    for key, value in dataset.describe():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    dataset, engine = _load_engine(args.dataset)
+    query = SQuery(
+        location=Point(args.x, args.y),
+        start_time_s=args.time,
+        duration_s=args.duration * 60.0,
+        prob=args.prob,
+    )
+    result = engine.s_query(
+        query, algorithm=args.algorithm, delta_t_s=args.delta_t * 60
+    )
+    return _print_result(args, dataset, result)
+
+
+def cmd_mquery(args) -> int:
+    dataset, engine = _load_engine(args.dataset)
+    query = MQuery(
+        locations=tuple(args.location),
+        start_time_s=args.time,
+        duration_s=args.duration * 60.0,
+        prob=args.prob,
+    )
+    result = engine.m_query(
+        query, algorithm=args.algorithm, delta_t_s=args.delta_t * 60
+    )
+    return _print_result(args, dataset, result)
+
+
+def cmd_rquery(args) -> int:
+    dataset, engine = _load_engine(args.dataset)
+    query = SQuery(
+        location=Point(args.x, args.y),
+        start_time_s=args.time,
+        duration_s=args.duration * 60.0,
+        prob=args.prob,
+    )
+    result = engine.r_query(
+        query, algorithm=args.algorithm, delta_t_s=args.delta_t * 60
+    )
+    return _print_result(args, dataset, result)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatio-temporal reachability queries over trajectory data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build-dataset", help="generate + persist a dataset")
+    build.add_argument("--out", required=True, help="output directory")
+    build.add_argument("--grid", type=int, default=11, help="grid side (default 11)")
+    build.add_argument("--taxis", type=int, default=400)
+    build.add_argument("--days", type=int, default=30)
+    build.add_argument("--seed", type=int, default=42)
+    build.set_defaults(func=cmd_build_dataset)
+
+    describe = sub.add_parser("describe", help="print dataset statistics")
+    describe.add_argument("--dataset", required=True)
+    describe.set_defaults(func=cmd_describe)
+
+    query = sub.add_parser("query", help="single-location reachability query")
+    _add_query_args(query)
+    query.add_argument("--x", type=float, default=0.0)
+    query.add_argument("--y", type=float, default=0.0)
+    query.add_argument(
+        "--algorithm", choices=("sqmb_tbs", "es", "es_pruned"),
+        default="sqmb_tbs",
+    )
+    query.set_defaults(func=cmd_query)
+
+    mquery = sub.add_parser("mquery", help="multi-location reachability query")
+    _add_query_args(mquery)
+    mquery.add_argument(
+        "--location", type=_parse_location, action="append", required=True,
+        help="X,Y (repeatable)",
+    )
+    mquery.add_argument(
+        "--algorithm", choices=("mqmb_tbs", "sqmb_tbs_each", "es_each"),
+        default="mqmb_tbs",
+    )
+    mquery.set_defaults(func=cmd_mquery)
+
+    rquery = sub.add_parser(
+        "rquery", help="reverse query: who can reach this location?"
+    )
+    _add_query_args(rquery)
+    rquery.add_argument("--x", type=float, default=0.0)
+    rquery.add_argument("--y", type=float, default=0.0)
+    rquery.add_argument(
+        "--algorithm", choices=("sqmb_tbs", "es"), default="sqmb_tbs"
+    )
+    rquery.set_defaults(func=cmd_rquery)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: indexes and query processing.
+
+* :mod:`~repro.core.st_index` — the Spatio-Temporal Index (§3.2.1).
+* :mod:`~repro.core.con_index` — the Connection Index (§3.2.2).
+* :mod:`~repro.core.probability` — Eq. 3.1 reachability probabilities.
+* :mod:`~repro.core.sqmb` — Algorithm 1 (s-query max/min bounding region).
+* :mod:`~repro.core.tbs` — Algorithm 2 (trace-back search).
+* :mod:`~repro.core.mqmb` — Algorithm 3 (m-query bounding region).
+* :mod:`~repro.core.baseline` — the exhaustive-search (ES) baseline and the
+  naive multi-s-query baseline.
+* :mod:`~repro.core.engine` — the user-facing :class:`ReachabilityEngine`.
+"""
+
+from repro.core.query import (
+    BoundingRegion,
+    MQuery,
+    QueryCost,
+    QueryResult,
+    SQuery,
+)
+from repro.core.st_index import STIndex
+from repro.core.con_index import ConnectionIndex, FrontierEntry
+from repro.core.probability import ProbabilityEstimator
+from repro.core.sqmb import sqmb_bounding_region
+from repro.core.tbs import trace_back_search
+from repro.core.mqmb import mqmb_bounding_region
+from repro.core.baseline import (
+    exhaustive_search,
+    exhaustive_search_pruned,
+    naive_m_query,
+)
+from repro.core.reverse import (
+    ReverseProbabilityEstimator,
+    reverse_bounding_region,
+)
+from repro.core.engine import ReachabilityEngine
+
+__all__ = [
+    "SQuery",
+    "MQuery",
+    "QueryResult",
+    "QueryCost",
+    "BoundingRegion",
+    "STIndex",
+    "ConnectionIndex",
+    "FrontierEntry",
+    "ProbabilityEstimator",
+    "sqmb_bounding_region",
+    "trace_back_search",
+    "mqmb_bounding_region",
+    "exhaustive_search",
+    "exhaustive_search_pruned",
+    "naive_m_query",
+    "ReverseProbabilityEstimator",
+    "reverse_bounding_region",
+    "ReachabilityEngine",
+]

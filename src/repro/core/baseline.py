@@ -1,0 +1,122 @@
+"""Baselines: exhaustive search (ES) and the naive m-query decomposition.
+
+ES answers an s-query with no Con-Index at all: starting from the query
+segment it expands the physical road network neighbour by neighbour and
+verifies *every* visited segment's Eq. 3.1 probability against the
+trajectory time lists on disk — "the searching process terminates until
+Prob-reachable road segments at all possible branches on the road network"
+(§4.1).  Without an index there is no way to know where the reachable
+region ends, so the expansion runs to the end of every branch; its cost is
+governed by the road network size, not the query, which is why the ES
+curves of Figs 4.1(a)/4.3(a)/4.7 are nearly flat.  Every verified segment —
+including the dense area right around the start location that SQMB+TBS
+skips entirely — costs time-list reads, which is exactly the redundant disk
+access the paper's design removes.
+
+:func:`exhaustive_search_pruned` is a stronger variant (not in the paper)
+that stops each branch as soon as historical support vanishes; it is kept
+as an ablation comparator (``benchmarks/test_ablation_baselines.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.probability import ProbabilityEstimator
+from repro.network.model import RoadNetwork
+
+
+@dataclass
+class ExhaustiveResult:
+    """Outcome of one exhaustive search."""
+
+    region: set[int] = field(default_factory=set)
+    failed: set[int] = field(default_factory=set)
+    probabilities: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def examined(self) -> int:
+        return len(self.region) + len(self.failed)
+
+
+def exhaustive_search(
+    network: RoadNetwork,
+    estimator: ProbabilityEstimator,
+    prob: float,
+) -> ExhaustiveResult:
+    """The paper's ES baseline: verify every road-connected segment.
+
+    Expands the road network from the estimator's start segment to the end
+    of all branches, verifying each segment against the trajectory data.
+    """
+    result = ExhaustiveResult()
+    start = estimator.start_segment
+    queue: deque[int] = deque([start])
+    visited: set[int] = {start}
+    while queue:
+        segment_id = queue.popleft()
+        probability = estimator.probability(segment_id)
+        result.probabilities[segment_id] = probability
+        if probability >= prob:
+            result.region.add(segment_id)
+        else:
+            result.failed.add(segment_id)
+        for neighbor in network.neighbors(segment_id):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(neighbor)
+    return result
+
+
+def exhaustive_search_pruned(
+    network: RoadNetwork,
+    estimator: ProbabilityEstimator,
+    prob: float,
+) -> ExhaustiveResult:
+    """Support-pruned exhaustive search (ablation baseline, not in paper).
+
+    Expansion continues through every segment with *any* historical support
+    (probability > 0) and stops a branch when support vanishes; the cost is
+    governed by the support region instead of the whole network.
+    """
+    result = ExhaustiveResult()
+    start = estimator.start_segment
+    queue: deque[int] = deque([start])
+    visited: set[int] = {start}
+    while queue:
+        segment_id = queue.popleft()
+        probability = estimator.probability(segment_id)
+        result.probabilities[segment_id] = probability
+        if probability >= prob:
+            result.region.add(segment_id)
+        else:
+            result.failed.add(segment_id)
+        if probability <= 0.0:
+            continue
+        for neighbor in network.neighbors(segment_id):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(neighbor)
+    return result
+
+
+def naive_m_query(
+    network: RoadNetwork,
+    estimators: dict[int, ProbabilityEstimator],
+    prob: float,
+) -> ExhaustiveResult:
+    """The always-working m-query baseline: n independent searches, unioned.
+
+    Each start location is answered as its own s-query with no communication
+    between them, so segments in overlapping regions are verified once *per
+    query location* — the inefficiency MQMB eliminates.
+    """
+    merged = ExhaustiveResult()
+    for estimator in estimators.values():
+        single = exhaustive_search(network, estimator, prob)
+        merged.region |= single.region
+        merged.failed |= single.failed
+        merged.probabilities.update(single.probabilities)
+    merged.failed -= merged.region
+    return merged

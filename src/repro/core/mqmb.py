@@ -1,0 +1,91 @@
+"""Algorithm 3: m-query maximum/minimum bounding-region search (MQMB).
+
+The naive way to answer an m-query is to run SQMB+TBS once per location and
+union the results — paying for the overlapping interiors repeatedly.  MQMB
+instead grows all seeds *together* over the shared accumulated bounding set
+``B``: each newly covered segment is claimed by exactly one seed — the
+nearest one, per the §3.3.2 elimination rule (``rs = argmin dis(r', b)``)
+— and is expanded exactly once per step regardless of how many per-seed
+regions overlap it.  The result is the outer-most boundary of the merged
+bounding regions (Fig. 3.6b), at roughly the cost of the largest single
+bounding region instead of the sum of all of them.
+"""
+
+from __future__ import annotations
+
+from repro.core.con_index import ConnectionIndex, Kind
+from repro.core.query import BoundingRegion
+from repro.core.sqmb import close_under_twins, region_boundary
+
+
+def mqmb_bounding_region(
+    con_index: ConnectionIndex,
+    start_segments: list[int],
+    start_time_s: float,
+    duration_s: float,
+    kind: Kind = "far",
+) -> BoundingRegion:
+    """Run Algorithm 3 from the start segment set ``R0``.
+
+    Args:
+        con_index: the Connection Index.
+        start_segments: ``R0 = {r0,1, ..., r0,n}`` resolved via ST-Index.
+        start_time_s: ``T``.
+        duration_s: ``L``.
+        kind: ``"far"`` (maximum) or ``"near"`` (minimum) bounding region.
+
+    Returns:
+        The unified bounding region; ``seed_of`` maps every cover segment to
+        the seed that claimed it (used by trace-back to pick the right
+        probability estimator).
+    """
+    if not start_segments:
+        raise ValueError("m-query needs at least one start segment")
+    network = con_index.network
+    seeds = list(dict.fromkeys(start_segments))  # preserve order, dedupe
+    delta_t = con_index.delta_t_s
+    steps = max(1, int(duration_s // delta_t))
+    midpoints = {
+        seed: network.segment(seed).midpoint for seed in seeds
+    }
+
+    def nearest_seed(segment_id: int) -> int:
+        mid = network.segment(segment_id).midpoint
+        return min(seeds, key=lambda seed: midpoints[seed].distance_to(mid))
+
+    # seed_of implements the overlap elimination: each covered segment is
+    # claimed once, by its nearest seed, and expanded once per step on that
+    # seed's behalf — never once per overlapping region.
+    seed_of: dict[int, int] = {seed: seed for seed in seeds}
+    if len(seeds) > 1:
+        for seed in seeds:
+            seed_of[seed] = nearest_seed(seed)
+    cover: set[int] = set(seeds)
+    # Both carriageways of each seed road start the expansion.
+    for seed in seeds:
+        twin = network.segment(seed).twin_id
+        if twin is not None and network.has_segment(twin):
+            cover.add(twin)
+            seed_of.setdefault(twin, seed_of[seed])
+    for step in range(steps):
+        slot = con_index.slot_of(start_time_s + step * delta_t)
+        additions: set[int] = set()
+        for segment_id in cover:
+            entry = con_index.entry(segment_id, slot, kind)
+            additions |= entry.cover
+        additions -= cover
+        for segment_id in additions:
+            seed_of[segment_id] = (
+                nearest_seed(segment_id) if len(seeds) > 1 else seeds[0]
+            )
+        cover |= additions
+    close_under_twins(network, cover)
+    for segment_id in list(cover):
+        if segment_id not in seed_of:
+            twin = network.segment(segment_id).twin_id
+            seed_of[segment_id] = seed_of.get(twin, seeds[0])
+    return BoundingRegion(
+        cover=cover,
+        boundary=region_boundary(network, cover),
+        seed_of=seed_of,
+    )

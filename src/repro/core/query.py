@@ -1,0 +1,144 @@
+"""Query and result models (§2.2, Table 2.1).
+
+An s-query is ``q = (S, T, L, Prob)`` with one location; an m-query carries
+``S = {s1, ..., sn}``.  Results report the Prob-reachable segment set plus
+the cost metrics the paper's evaluation uses: running time and (here,
+additionally) simulated disk I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spatial.geometry import Point
+from repro.storage.disk import DiskStats
+from repro.trajectory.model import SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class SQuery:
+    """Single-location spatio-temporal reachability query.
+
+    Attributes:
+        location: query location ``s`` in the local metric plane.
+        start_time_s: ``T``, seconds since midnight.
+        duration_s: ``L``, the prediction time length in seconds.
+        prob: reachability probability threshold in (0, 1].
+    """
+
+    location: Point
+    start_time_s: float
+    duration_s: float
+    prob: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start_time_s < SECONDS_PER_DAY:
+            raise ValueError(f"start time {self.start_time_s} outside one day")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s}")
+        if not 0 < self.prob <= 1:
+            raise ValueError(f"prob must be in (0, 1], got {self.prob}")
+
+
+@dataclass(frozen=True)
+class MQuery:
+    """Multi-location spatio-temporal reachability query (§3.3.2)."""
+
+    locations: tuple[Point, ...]
+    start_time_s: float
+    duration_s: float
+    prob: float
+
+    def __post_init__(self) -> None:
+        if not self.locations:
+            raise ValueError("m-query needs at least one location")
+        if not 0 <= self.start_time_s < SECONDS_PER_DAY:
+            raise ValueError(f"start time {self.start_time_s} outside one day")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s}")
+        if not 0 < self.prob <= 1:
+            raise ValueError(f"prob must be in (0, 1], got {self.prob}")
+
+    def as_s_queries(self) -> list[SQuery]:
+        """The n independent s-queries of the naive decomposition."""
+        return [
+            SQuery(
+                location=location,
+                start_time_s=self.start_time_s,
+                duration_s=self.duration_s,
+                prob=self.prob,
+            )
+            for location in self.locations
+        ]
+
+
+@dataclass
+class BoundingRegion:
+    """Output of SQMB/MQMB: the cover and outer boundary of one bound.
+
+    Attributes:
+        cover: every segment reachable within the bound (``B`` accumulated
+            over Algorithm 1's steps, as an area).
+        boundary: the outer frontier — the solid circles of Fig. 3.4.
+        seed_of: for m-queries, segment -> the seed segment whose expansion
+            claimed it (after the §3.3.2 overlap elimination).
+    """
+
+    cover: set[int] = field(default_factory=set)
+    boundary: set[int] = field(default_factory=set)
+    seed_of: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class QueryCost:
+    """Cost metrics for one query execution."""
+
+    wall_time_s: float = 0.0
+    io: DiskStats = field(default_factory=DiskStats)
+    simulated_io_ms: float = 0.0
+    probability_checks: int = 0
+    segments_expanded: int = 0
+
+    @property
+    def total_cost_ms(self) -> float:
+        """Wall time plus accounted I/O, the headline 'running time'."""
+        return self.wall_time_s * 1e3 + self.simulated_io_ms
+
+
+@dataclass
+class QueryResult:
+    """A Prob-reachable region plus how much it cost to compute.
+
+    Attributes:
+        segments: the Prob-reachable road segments.
+        probabilities: probabilities actually computed during the search
+            (TBS only examines the shell, so this is a subset of segments).
+        start_segments: the start segment(s) ``r0`` resolved from ``S``.
+        max_region / min_region: the bounding regions, when the algorithm
+            produced them (None for the ES baseline).
+        cost: running-time/I/O metrics.
+    """
+
+    segments: set[int] = field(default_factory=set)
+    probabilities: dict[int, float] = field(default_factory=dict)
+    start_segments: tuple[int, ...] = ()
+    max_region: BoundingRegion | None = None
+    min_region: BoundingRegion | None = None
+    cost: QueryCost = field(default_factory=QueryCost)
+
+    def road_length_m(self, network) -> float:
+        """Total length of the result segments, deduplicating two-way twins.
+
+        This is the paper's effectiveness metric ("total length of covered
+        road segments", §4.2).
+        """
+        seen: set[int] = set()
+        total = 0.0
+        for segment_id in self.segments:
+            segment = network.segment(segment_id)
+            canonical = segment.canonical_id()
+            if canonical in seen:
+                continue
+            seen.add(canonical)
+            total += segment.length
+        return total

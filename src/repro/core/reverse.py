@@ -1,0 +1,179 @@
+"""Reverse spatio-temporal reachability queries.
+
+The paper's location-based-advertising application (§1.1, Fig 1.2) really
+asks the *dual* of the s-query: from which road segments can customers
+reach the mall within ``L`` minutes — i.e. find every segment ``r`` such
+that on at least a ``Prob`` fraction of days some trajectory passed ``r``
+during the first slot ``[T, T+Δt]`` and then reached the target ``S``
+within ``[T, T+L]``.
+
+The machinery mirrors the forward query with the direction flipped:
+
+* the *reverse* probability fixes the target's window ``[T, T+L]`` once and
+  intersects each candidate's *first-slot* window against it (cheaper per
+  check than the forward estimator, which reads the whole window per
+  candidate);
+* the bounding regions come from Con-Index entries computed by *backward*
+  network expansion over predecessors (``kind="far_rev"/"near_rev"``);
+* trace-back search and the exhaustive baseline are reused unchanged —
+  they only consume ``probability(segment)`` and undirected adjacency.
+"""
+
+from __future__ import annotations
+
+from repro.core.baseline import ExhaustiveResult, exhaustive_search
+from repro.core.con_index import ConnectionIndex
+from repro.core.query import BoundingRegion
+from repro.core.sqmb import close_under_twins, region_boundary
+from repro.core.st_index import STIndex
+from repro.network.model import RoadNetwork
+
+
+class ReverseProbabilityEstimator:
+    """Eq. 3.1 with the roles of start and target segments swapped.
+
+    ``probability(r)`` is the fraction of days on which a single trajectory
+    passed ``r`` in ``[T, T+Δt]`` and the fixed target segment within
+    ``[T, T+L]``.
+
+    Args:
+        index: the ST-Index to read time lists from.
+        target_segment: the destination ``S`` resolved to a road segment.
+        start_time_s: ``T``.
+        duration_s: ``L``.
+        num_days: ``m``.
+    """
+
+    def __init__(
+        self,
+        index: STIndex,
+        target_segment: int,
+        start_time_s: float,
+        duration_s: float,
+        num_days: int,
+    ) -> None:
+        if num_days <= 0:
+            raise ValueError(f"num_days must be positive, got {num_days}")
+        self.index = index
+        self.network = index.network
+        # `start_segment` naming keeps the TBS/ES interfaces uniform.
+        self.start_segment = target_segment
+        self.target_segment = target_segment
+        self.start_time_s = start_time_s
+        self.duration_s = duration_s
+        self.num_days = num_days
+        self.checks = 0
+        self._cache: dict[int, float] = {}
+        self._target_sets = self._merged_window(
+            target_segment, start_time_s, start_time_s + duration_s
+        )
+
+    def _twin(self, segment_id: int) -> int | None:
+        twin = self.network.segment(segment_id).twin_id
+        if twin is not None and self.network.has_segment(twin):
+            return twin
+        return None
+
+    def _merged_window(
+        self, segment_id: int, start_s: float, end_s: float
+    ) -> dict[int, set[int]]:
+        merged = self.index.trajectories_in_window(segment_id, start_s, end_s)
+        twin = self._twin(segment_id)
+        if twin is not None:
+            for date, ids in self.index.trajectories_in_window(
+                twin, start_s, end_s
+            ).items():
+                bucket = merged.get(date)
+                if bucket is None:
+                    merged[date] = set(ids)
+                else:
+                    bucket |= ids
+        return merged
+
+    @property
+    def start_days(self) -> int:
+        """Days on which any trajectory visited the target within the window."""
+        return sum(1 for ids in self._target_sets.values() if ids)
+
+    def probability(self, segment_id: int) -> float:
+        """Reverse reachability probability of ``segment_id`` (cached)."""
+        cached = self._cache.get(segment_id)
+        if cached is not None:
+            return cached
+        self.checks += 1
+        if not self._target_sets:
+            value = 0.0
+        else:
+            origin_sets = self._merged_window(
+                segment_id,
+                self.start_time_s,
+                self.start_time_s + self.index.delta_t_s,
+            )
+            good_days = 0
+            for date, target_ids in self._target_sets.items():
+                origin_ids = origin_sets.get(date)
+                if origin_ids and not target_ids.isdisjoint(origin_ids):
+                    good_days += 1
+            value = good_days / self.num_days
+        self._cache[segment_id] = value
+        twin = self._twin(segment_id)
+        if twin is not None:
+            self._cache[twin] = value
+        return value
+
+    def is_reachable(self, segment_id: int, prob: float) -> bool:
+        return self.probability(segment_id) >= prob
+
+
+def reverse_bounding_region(
+    con_index: ConnectionIndex,
+    target_segment: int,
+    start_time_s: float,
+    duration_s: float,
+    kind: str = "far",
+) -> BoundingRegion:
+    """Algorithm 1 run backwards: who can reach the target within ``L``.
+
+    Uses the Con-Index's reverse entries (backward expansion over
+    predecessors) and the same accumulate-and-rehop structure as SQMB.
+
+    Args:
+        con_index: the Connection Index.
+        target_segment: the destination segment.
+        start_time_s: ``T``.
+        duration_s: ``L``.
+        kind: ``"far"`` (maximum region) or ``"near"`` (minimum region);
+            translated internally to the reverse entry kinds.
+    """
+    if kind not in ("far", "near"):
+        raise ValueError(f"kind must be 'far' or 'near', got {kind!r}")
+    reverse_kind = f"{kind}_rev"
+    network = con_index.network
+    delta_t = con_index.delta_t_s
+    steps = max(1, int(duration_s // delta_t))
+    cover: set[int] = {target_segment}
+    twin = network.segment(target_segment).twin_id
+    if twin is not None and network.has_segment(twin):
+        cover.add(twin)
+    for step in range(steps):
+        slot = con_index.slot_of(start_time_s + step * delta_t)
+        additions: set[int] = set()
+        for segment_id in cover:
+            entry = con_index.entry(segment_id, slot, reverse_kind)
+            additions |= entry.cover
+        cover |= additions
+    close_under_twins(network, cover)
+    return BoundingRegion(
+        cover=cover,
+        boundary=region_boundary(network, cover, reverse=True),
+        seed_of={segment_id: target_segment for segment_id in cover},
+    )
+
+
+def reverse_exhaustive_search(
+    network: RoadNetwork,
+    estimator: ReverseProbabilityEstimator,
+    prob: float,
+) -> ExhaustiveResult:
+    """Reverse ES baseline: verify every road-connected segment."""
+    return exhaustive_search(network, estimator, prob)

@@ -1,0 +1,106 @@
+"""Algorithm 1: s-query maximum/minimum bounding-region search (SQMB).
+
+Starting from the query's road segment ``r0``, SQMB hops through the
+Con-Index one Δt slot at a time.  Exactly as the thesis's Algorithm 1
+(lines 5–9) prescribes, the *entire* accumulated bounding set is expanded
+at every step (``B = B ∪ F(r, T+l)`` for all ``r in R``, then ``R = B``),
+for ``k`` steps with ``k·Δt <= L < (k+1)·Δt``; each hop grants a fresh Δt
+of travel at the slot's historical extreme speeds, so after ``k`` hops the
+accumulated cover is every segment the Con-Index vouches reachable within
+``L``.  The region's outer boundary — the solid circles of Fig. 3.4 — is
+the set of cover segments with at least one successor outside the cover.
+
+No trajectory time lists are touched here: the whole point is that the
+bounding region comes straight out of the Con-Index, skipping the disk
+reads an exhaustive expansion would pay near the start location.
+"""
+
+from __future__ import annotations
+
+from repro.core.con_index import ConnectionIndex, Kind
+from repro.core.query import BoundingRegion
+from repro.network.model import RoadNetwork
+
+
+def close_under_twins(network: RoadNetwork, cover: set[int]) -> None:
+    """Add the opposite carriageway of every covered two-way road.
+
+    Reachability (Eq. 3.1) is road-level — the probability estimator merges
+    a segment's time lists with its twin's — so bounding regions must be
+    road-level too, or the trace-back would treat the far carriageway of a
+    reachable road as out of bounds.
+    """
+    for segment_id in list(cover):
+        twin = network.segment(segment_id).twin_id
+        if twin is not None and network.has_segment(twin):
+            cover.add(twin)
+
+
+def region_boundary(
+    network: RoadNetwork, cover: set[int], reverse: bool = False
+) -> set[int]:
+    """The outer shell of a cover: members with an escape successor.
+
+    Args:
+        network: road network.
+        cover: segment set whose shell to compute.
+        reverse: use predecessors as the escape relation (for the backward
+            bounding regions of reverse reachability queries).
+    """
+    step_of = network.predecessors if reverse else network.successors
+    boundary: set[int] = set()
+    for segment_id in cover:
+        neighbors = step_of(segment_id)
+        if not neighbors or any(s not in cover for s in neighbors):
+            boundary.add(segment_id)
+    if not boundary and cover:
+        # A saturated cover on a network with no dead ends (e.g. a ring
+        # city) has no escape edges; the bound then prunes nothing, and the
+        # trace-back must examine the whole cover.
+        return set(cover)
+    return boundary
+
+
+def sqmb_bounding_region(
+    con_index: ConnectionIndex,
+    start_segment: int,
+    start_time_s: float,
+    duration_s: float,
+    kind: Kind = "far",
+) -> BoundingRegion:
+    """Run Algorithm 1 from ``r0 = start_segment``.
+
+    Args:
+        con_index: the Connection Index.
+        start_segment: ``r0``, resolved from the query location via ST-Index.
+        start_time_s: ``T``.
+        duration_s: ``L``; at least one Δt hop is always taken (a query
+            shorter than the index granularity still needs a first-slot
+            bound).
+        kind: ``"far"`` for the maximum bounding region, ``"near"`` for the
+            minimum one.
+
+    Returns:
+        The bounding region: accumulated cover plus its outer boundary.
+    """
+    delta_t = con_index.delta_t_s
+    steps = max(1, int(duration_s // delta_t))
+    # A traveller standing on a two-way road may leave in either direction,
+    # so both carriageways seed the expansion.
+    cover: set[int] = {start_segment}
+    twin = con_index.network.segment(start_segment).twin_id
+    if twin is not None and con_index.network.has_segment(twin):
+        cover.add(twin)
+    for step in range(steps):
+        slot = con_index.slot_of(start_time_s + step * delta_t)
+        additions: set[int] = set()
+        for segment_id in cover:
+            entry = con_index.entry(segment_id, slot, kind)
+            additions |= entry.cover
+        cover |= additions
+    close_under_twins(con_index.network, cover)
+    return BoundingRegion(
+        cover=cover,
+        boundary=region_boundary(con_index.network, cover),
+        seed_of={segment_id: start_segment for segment_id in cover},
+    )

@@ -1,0 +1,292 @@
+"""The Spatio-Temporal Index (§3.2.1).
+
+Three components, exactly as Fig. 3.2 draws them:
+
+* **Temporal index** — a B+-tree over Δt-granular time slots of the day;
+* **Spatial index** — one R-tree over the (static) re-segmented road
+  network, shared by every temporal leaf;
+* **Time lists** — for each (road segment, time slot), a disk-resident list
+  of per-date trajectory IDs that traversed the segment in that slot.  The
+  two levels of temporal information (time-of-day slot and *date*) are what
+  make Prob-reachable computation cheap: one record read yields every day's
+  trajectory IDs for a segment-slot, and Eq. 3.1 only needs set
+  intersections from there.
+
+Time-list payloads live on the :class:`~repro.storage.disk.SimulatedDisk`;
+every access is charged through a buffer pool, which is the cost the query
+algorithms compete on.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.model import RoadNetwork
+from repro.spatial.btree import BPlusTree
+from repro.spatial.geometry import Point
+from repro.spatial.rtree import RTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pagestore import BufferPool, PageStore, RecordPointer
+from repro.storage.serialization import SerializationError
+from repro.trajectory.model import SECONDS_PER_DAY
+from repro.trajectory.store import TrajectoryDatabase
+
+
+def encode_time_list(per_date: dict[int, list[int]]) -> bytes:
+    """Serialize ``date -> trajectory ids`` for one (segment, slot) entry.
+
+    Flat uint32 layout: ``[num_dates, (date, count, ids...)*]``.
+    """
+    values: list[int] = [len(per_date)]
+    for date in sorted(per_date):
+        ids = sorted(per_date[date])
+        values.append(date)
+        values.append(len(ids))
+        values.extend(ids)
+    return struct.pack(f"<{len(values)}I", *values)
+
+
+def decode_time_list(payload: bytes) -> dict[int, list[int]]:
+    """Inverse of :func:`encode_time_list`."""
+    if len(payload) % 4 != 0:
+        raise SerializationError("time list payload not uint32-aligned")
+    values = struct.unpack(f"<{len(payload) // 4}I", payload)
+    num_dates = values[0]
+    per_date: dict[int, list[int]] = {}
+    offset = 1
+    for _ in range(num_dates):
+        if offset + 2 > len(values):
+            raise SerializationError("truncated time list header")
+        date, count = values[offset], values[offset + 1]
+        offset += 2
+        if offset + count > len(values):
+            raise SerializationError("truncated time list ids")
+        per_date[date] = list(values[offset : offset + count])
+        offset += count
+    if offset != len(values):
+        raise SerializationError("trailing values in time list payload")
+    return per_date
+
+
+@dataclass
+class STIndexStats:
+    """Construction statistics, for documentation and sanity tests."""
+
+    num_slots: int = 0
+    num_entries: int = 0
+    disk_pages: int = 0
+
+
+class STIndex:
+    """The ST-Index over a road network and a matched-trajectory database.
+
+    Args:
+        network: re-segmented road network.
+        delta_t_s: slot width Δt in seconds (the index granularity of
+            Table 4.2, there 1/5/10/20 minutes).
+        disk: simulated disk to hold time-list payloads (a fresh private
+            disk is created when omitted).
+        buffer_pool_pages: LRU page cache capacity for reads.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        delta_t_s: int,
+        disk: SimulatedDisk | None = None,
+        buffer_pool_pages: int = 512,
+    ) -> None:
+        if delta_t_s <= 0 or delta_t_s > SECONDS_PER_DAY:
+            raise ValueError(f"bad slot width {delta_t_s}")
+        self.network = network
+        self.delta_t_s = delta_t_s
+        self.num_slots = -(-SECONDS_PER_DAY // delta_t_s)  # ceil division
+        self.disk = disk if disk is not None else SimulatedDisk()
+        self._store = PageStore(self.disk)
+        self.pool = BufferPool(self.disk, capacity=buffer_pool_pages)
+        # Temporal index: slot start seconds -> slot id, as a B+-tree.
+        self._temporal = BPlusTree(order=64)
+        for slot in range(self.num_slots):
+            self._temporal.insert(slot * delta_t_s, slot)
+        # Spatial index: one shared R-tree over segment MBRs.
+        self._rtree = RTree.bulk_load(
+            [(seg.bbox, seg.segment_id) for seg in network.segments()]
+        )
+        # Time-list directory: (segment, slot) -> chain of record
+        # pointers.  The bulk build writes one record per entry; appending
+        # later days adds records to the chain (merged at read time), so
+        # new data never forces an index rebuild.
+        self._directory: dict[tuple[int, int], list[RecordPointer]] = {}
+        self._built = False
+        self.stats = STIndexStats(num_slots=self.num_slots)
+
+    # -- construction ----------------------------------------------------------
+
+    def build(self, database: TrajectoryDatabase) -> None:
+        """Bulk-build the time lists from a matched-trajectory database.
+
+        One vectorised pass: every (segment, slot, date, trajectory) visit
+        tuple is concatenated, lexicographically sorted, grouped by
+        (segment, slot), and each group is serialized as one disk record.
+        """
+        if self._built:
+            raise RuntimeError("ST-Index already built")
+        seg_parts, slot_parts, date_parts, tid_parts = [], [], [], []
+        for trajectory_id, date, segments, times in database.iter_compact():
+            n = len(segments)
+            if n == 0:
+                continue
+            seg_parts.append(segments.astype(np.int64))
+            slot_parts.append(
+                np.minimum(times, SECONDS_PER_DAY - 1).astype(np.int64)
+                // self.delta_t_s
+            )
+            date_parts.append(np.full(n, date, dtype=np.int64))
+            tid_parts.append(np.full(n, trajectory_id, dtype=np.int64))
+        if seg_parts:
+            segments = np.concatenate(seg_parts)
+            slots = np.concatenate(slot_parts)
+            dates = np.concatenate(date_parts)
+            tids = np.concatenate(tid_parts)
+            order = np.lexsort((tids, dates, slots, segments))
+            segments, slots = segments[order], slots[order]
+            dates, tids = dates[order], tids[order]
+            group_keys = segments * self.num_slots + slots
+            _, starts = np.unique(group_keys, return_index=True)
+            boundaries = np.append(starts, len(group_keys))
+            for i in range(len(starts)):
+                lo, hi = boundaries[i], boundaries[i + 1]
+                segment_id = int(segments[lo])
+                slot = int(slots[lo])
+                per_date: dict[int, list[int]] = {}
+                group_dates = dates[lo:hi]
+                group_tids = tids[lo:hi]
+                date_starts = np.unique(group_dates, return_index=True)[1]
+                date_bounds = np.append(date_starts, hi - lo)
+                for j in range(len(date_starts)):
+                    a, b = date_bounds[j], date_bounds[j + 1]
+                    ids = np.unique(group_tids[a:b]).tolist()
+                    per_date[int(group_dates[a])] = ids
+                payload = encode_time_list(per_date)
+                self._directory[(segment_id, slot)] = [
+                    self._store.append(payload)
+                ]
+        self._built = True
+        self.stats.num_entries = len(self._directory)
+        self.stats.disk_pages = self.disk.num_pages
+
+    def append_trajectories(self, trajectories) -> int:
+        """Incrementally index additional matched trajectories.
+
+        New days of data arrive continuously in a deployed system; instead
+        of rebuilding, each affected (segment, slot) entry gains one more
+        record in its chain, merged with the existing ones at read time.
+        Returns the number of entries touched.
+
+        Args:
+            trajectories: iterable of
+                :class:`~repro.trajectory.model.MatchedTrajectory`.
+        """
+        if not self._built:
+            raise RuntimeError("build the ST-Index before appending")
+        pending: dict[tuple[int, int], dict[int, set[int]]] = {}
+        for trajectory in trajectories:
+            date = trajectory.date
+            trajectory_id = trajectory.trajectory_id
+            for visit in trajectory.visits:
+                slot = self.slot_of(visit.time_s)
+                per_date = pending.setdefault((visit.segment_id, slot), {})
+                per_date.setdefault(date, set()).add(trajectory_id)
+        for key in sorted(pending):
+            per_date = {d: sorted(ids) for d, ids in pending[key].items()}
+            pointer = self._store.append(encode_time_list(per_date))
+            self._directory.setdefault(key, []).append(pointer)
+        # (Tail-page cache coherence is handled by the disk's write-through
+        # invalidation of attached pools.)
+        self.stats.num_entries = len(self._directory)
+        self.stats.disk_pages = self.disk.num_pages
+        return len(pending)
+
+    # -- temporal lookups ---------------------------------------------------------
+
+    def slot_of(self, time_s: float) -> int:
+        """The slot containing ``time_s`` (clamped into the day)."""
+        t = min(max(0.0, time_s), SECONDS_PER_DAY - 1)
+        found = self._temporal.floor(t)
+        assert found is not None, "temporal index must cover the whole day"
+        return found[1]
+
+    def slots_in_window(self, start_s: float, end_s: float) -> list[int]:
+        """Slots overlapping ``[start_s, end_s)`` via a B+-tree range scan."""
+        if end_s <= start_s:
+            return []
+        first_start = self.slot_of(start_s) * self.delta_t_s
+        end_clamped = min(end_s, SECONDS_PER_DAY)
+        return [
+            slot
+            for _, slot in self._temporal.range(first_start, end_clamped - 1e-9)
+        ]
+
+    # -- spatial lookups -------------------------------------------------------------
+
+    def find_start_segment(self, location: Point) -> int:
+        """Map a query location ``s`` to its road segment ``r0`` (Fig. 3.4).
+
+        Best-first R-tree nearest-neighbour with exact point-to-polyline
+        distances.
+        """
+        matches = self._rtree.nearest(
+            location,
+            k=1,
+            distance=lambda p, sid: self.network.segment(sid).distance_to_point(p),
+        )
+        if not matches:
+            raise ValueError("empty spatial index")
+        return matches[0]
+
+    @property
+    def rtree(self) -> RTree:
+        return self._rtree
+
+    # -- time-list reads ----------------------------------------------------------------
+
+    def time_list(self, segment_id: int, slot: int) -> dict[int, set[int]]:
+        """Read a (segment, slot) time list: ``date -> trajectory ids``.
+
+        Charged through the buffer pool; an absent entry (no trajectory ever
+        hit the segment in the slot) is free, as the in-memory directory
+        already proves absence.
+        """
+        chain = self._directory.get((segment_id, slot))
+        if chain is None:
+            return {}
+        merged: dict[int, set[int]] = {}
+        for pointer in chain:
+            payload = self._store.read(pointer, pool=self.pool)
+            for date, ids in decode_time_list(payload).items():
+                bucket = merged.get(date)
+                if bucket is None:
+                    merged[date] = set(ids)
+                else:
+                    bucket.update(ids)
+        return merged
+
+    def trajectories_in_window(
+        self, segment_id: int, start_s: float, end_s: float
+    ) -> dict[int, set[int]]:
+        """Per-date trajectory IDs passing a segment within ``[start_s, end_s)``."""
+        merged: dict[int, set[int]] = {}
+        for slot in self.slots_in_window(start_s, end_s):
+            for date, ids in self.time_list(segment_id, slot).items():
+                bucket = merged.get(date)
+                if bucket is None:
+                    merged[date] = set(ids)
+                else:
+                    bucket |= ids
+        return merged
+
+    def has_entry(self, segment_id: int, slot: int) -> bool:
+        return (segment_id, slot) in self._directory

@@ -1,0 +1,15 @@
+"""Synthetic datasets standing in for the paper's Shenzhen taxi data."""
+
+from repro.datasets.shenzhen_like import (
+    ShenzhenLikeConfig,
+    ShenzhenLikeDataset,
+    build_shenzhen_like,
+    default_dataset,
+)
+
+__all__ = [
+    "ShenzhenLikeConfig",
+    "ShenzhenLikeDataset",
+    "build_shenzhen_like",
+    "default_dataset",
+]

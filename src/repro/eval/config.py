@@ -1,0 +1,83 @@
+"""Benchmark configurations mirroring Table 4.2.
+
+The paper's evaluation grid:
+
+========================  =========================================
+duration ``L``            {5, 10, ..., 35} min
+probability ``Prob``      {20%, ..., 100%}
+start time ``T``          whole day at 5-minute alignment
+interval ``Δt``           {1, 5, 10, 20} min
+s-query algorithms        ES, SQMB+TBS
+m-query algorithms        SQMB+TBS (xN), MQMB+TBS
+========================  =========================================
+
+Query locations: the paper queries a fixed downtown location
+(22.5311 N, 114.0550 E); our synthetic city centres that location at the
+origin of the local metric plane, so the benchmark queries use ``(0, 0)``
+and a ring of nearby business locations for m-queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.shenzhen_like import ShenzhenLikeConfig
+from repro.spatial.geometry import Point
+from repro.trajectory.model import day_time
+
+MINUTE = 60
+
+#: Fig 4.1 / 4.8(a): query durations, in seconds.
+DURATIONS_S: tuple[int, ...] = tuple(m * MINUTE for m in (5, 10, 15, 20, 25, 30, 35))
+
+#: Fig 4.3: query probabilities.
+PROBABILITIES: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: Fig 4.5: start times over the day (every 2 hours keeps the sweep fast
+#: while clearly resolving the two rush-hour dips).
+START_TIMES_S: tuple[int, ...] = tuple(day_time(h) for h in range(0, 24, 2))
+
+#: Fig 4.7: index granularities Δt, in seconds.
+INTERVALS_S: tuple[int, ...] = (1 * MINUTE, 5 * MINUTE, 10 * MINUTE, 20 * MINUTE)
+
+#: Fig 4.8(b): number of m-query locations.
+LOCATION_COUNTS: tuple[int, ...] = (1, 2, 3, 5, 7, 9)
+
+#: The downtown query location (maps to the paper's s = 22.5311, 114.0550).
+CENTER_LOCATION = Point(0.0, 0.0)
+
+#: Business locations for m-queries (downtown ring, Fig 4.9's three
+#: locations are the first three).
+M_QUERY_LOCATIONS: tuple[Point, ...] = (
+    Point(0.0, 0.0),
+    Point(3000.0, 2000.0),
+    Point(-2500.0, 1500.0),
+    Point(1500.0, -2800.0),
+    Point(-1000.0, -1500.0),
+    Point(4000.0, -500.0),
+    Point(-3500.0, -2500.0),
+    Point(2500.0, 3500.0),
+    Point(-4000.0, 3000.0),
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkSettings:
+    """One benchmark scenario: dataset + default query parameters."""
+
+    dataset: ShenzhenLikeConfig = field(default_factory=ShenzhenLikeConfig)
+    location: Point = CENTER_LOCATION
+    start_time_s: int = day_time(11)
+    duration_s: int = 10 * MINUTE
+    prob: float = 0.2
+    delta_t_s: int = 5 * MINUTE
+
+
+#: The full-size scenario used by most figure benchmarks.
+DEFAULT_SETTINGS = BenchmarkSettings()
+
+#: A reduced scenario for the expensive sweeps (Δt granularities down to
+#: one minute multiply index construction cost).
+SMALL_SETTINGS = BenchmarkSettings(
+    dataset=ShenzhenLikeConfig(grid_rows=9, grid_cols=9, num_taxis=200),
+)

@@ -1,0 +1,102 @@
+"""Query workload generation.
+
+Parameterised query batches for throughput-style measurements: random
+locations (biased downtown, where queries make sense), random start times,
+and the Table 4.2 parameter grids.  Deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.query import MQuery, SQuery
+from repro.network.model import RoadNetwork
+from repro.spatial.geometry import Point
+from repro.trajectory.model import SECONDS_PER_DAY
+
+
+@dataclass
+class QueryWorkload:
+    """Random-but-reproducible query batches over a road network.
+
+    Args:
+        network: road network supplying the spatial extent.
+        seed: RNG seed.
+        center_fraction: fraction of the city half-width within which query
+            locations are drawn (queries in the far periphery hit empty
+            data and answer trivially).
+    """
+
+    network: RoadNetwork
+    seed: int = 7
+    center_fraction: float = 0.5
+
+    def _rng(self, salt: str) -> random.Random:
+        return random.Random(f"{self.seed}:{salt}")
+
+    def random_location(self, rng: random.Random) -> Point:
+        bounds = self.network.bounds()
+        half_w = bounds.width / 2.0 * self.center_fraction
+        half_h = bounds.height / 2.0 * self.center_fraction
+        center = bounds.center
+        return Point(
+            center.x + rng.uniform(-half_w, half_w),
+            center.y + rng.uniform(-half_h, half_h),
+        )
+
+    def s_queries(
+        self,
+        count: int,
+        duration_s: float = 600.0,
+        prob: float = 0.2,
+        start_time_s: float | None = None,
+    ) -> list[SQuery]:
+        """A batch of s-queries at random downtown locations."""
+        rng = self._rng("s")
+        queries = []
+        for _ in range(count):
+            start = (
+                start_time_s
+                if start_time_s is not None
+                else rng.uniform(0, SECONDS_PER_DAY - duration_s - 1)
+            )
+            queries.append(
+                SQuery(
+                    location=self.random_location(rng),
+                    start_time_s=start,
+                    duration_s=duration_s,
+                    prob=prob,
+                )
+            )
+        return queries
+
+    def m_queries(
+        self,
+        count: int,
+        locations_per_query: int = 3,
+        duration_s: float = 1200.0,
+        prob: float = 0.2,
+        start_time_s: float | None = None,
+    ) -> list[MQuery]:
+        """A batch of m-queries, each with several downtown locations."""
+        rng = self._rng("m")
+        queries = []
+        for _ in range(count):
+            start = (
+                start_time_s
+                if start_time_s is not None
+                else rng.uniform(0, SECONDS_PER_DAY - duration_s - 1)
+            )
+            queries.append(
+                MQuery(
+                    locations=tuple(
+                        self.random_location(rng)
+                        for _ in range(locations_per_query)
+                    ),
+                    start_time_s=start,
+                    duration_s=duration_s,
+                    prob=prob,
+                )
+            )
+        return queries

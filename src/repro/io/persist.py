@@ -1,0 +1,220 @@
+"""Serialization of networks, databases and whole datasets.
+
+Formats:
+
+* **network** — JSON: nodes (id, x, y) and segments (id, start, end,
+  shape, level, twin);
+* **database** — one compressed ``.npz`` of flat arrays: per-trajectory
+  metadata (ids, taxis, dates, offsets) plus the concatenated segment /
+  time / speed columns;
+* **dataset** — a directory holding ``network.json``,
+  ``original_network.json``, ``database.npz`` and ``config.json`` so a
+  built :class:`~repro.datasets.shenzhen_like.ShenzhenLikeDataset` round
+  trips exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.network.model import RoadLevel, RoadNetwork, RoadSegment
+from repro.network.segmentation import ResegmentationResult
+from repro.spatial.geometry import Point
+from repro.trajectory.store import TrajectoryDatabase
+
+FORMAT_VERSION = 1
+
+
+# -- road networks ------------------------------------------------------------
+
+
+def network_to_dict(network: RoadNetwork) -> dict:
+    """JSON-ready representation of a road network."""
+    return {
+        "version": FORMAT_VERSION,
+        "nodes": [
+            {"id": node_id, "x": point.x, "y": point.y}
+            for node_id, point in sorted(network.nodes())
+        ],
+        "segments": [
+            {
+                "id": seg.segment_id,
+                "start": seg.start_node,
+                "end": seg.end_node,
+                "shape": [[p.x, p.y] for p in seg.shape],
+                "level": int(seg.level),
+                "twin": seg.twin_id,
+            }
+            for seg in sorted(network.segments(), key=lambda s: s.segment_id)
+        ],
+    }
+
+
+def network_from_dict(payload: dict) -> RoadNetwork:
+    """Inverse of :func:`network_to_dict`."""
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported network format {payload.get('version')}")
+    network = RoadNetwork()
+    for node in payload["nodes"]:
+        network.add_node(node["id"], Point(node["x"], node["y"]))
+    for seg in payload["segments"]:
+        network.add_segment(
+            RoadSegment(
+                segment_id=seg["id"],
+                start_node=seg["start"],
+                end_node=seg["end"],
+                shape=tuple(Point(x, y) for x, y in seg["shape"]),
+                level=RoadLevel(seg["level"]),
+                twin_id=seg["twin"],
+            )
+        )
+    return network
+
+
+def save_network(network: RoadNetwork, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(network_to_dict(network)))
+    return path
+
+
+def load_network(path: str | Path) -> RoadNetwork:
+    network = network_from_dict(json.loads(Path(path).read_text()))
+    network.check_invariants()
+    return network
+
+
+# -- trajectory databases --------------------------------------------------------
+
+
+def save_database(database: TrajectoryDatabase, path: str | Path) -> Path:
+    """Persist a trajectory database as flat arrays."""
+    path = Path(path)
+    trajectory_ids: list[int] = []
+    taxi_ids: list[int] = []
+    dates: list[int] = []
+    lengths: list[int] = []
+    seg_parts, time_parts, speed_parts = [], [], []
+    for compact in database._trajectories.values():
+        trajectory_ids.append(compact.trajectory_id)
+        taxi_ids.append(compact.taxi_id)
+        dates.append(compact.date)
+        lengths.append(len(compact.segments))
+        seg_parts.append(compact.segments)
+        time_parts.append(compact.times)
+        speed_parts.append(compact.speeds)
+    np.savez_compressed(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        num_taxis=np.int64(database.num_taxis),
+        num_days=np.int64(database.num_days),
+        trajectory_ids=np.asarray(trajectory_ids, dtype=np.int64),
+        taxi_ids=np.asarray(taxi_ids, dtype=np.int64),
+        dates=np.asarray(dates, dtype=np.int64),
+        lengths=np.asarray(lengths, dtype=np.int64),
+        segments=(
+            np.concatenate(seg_parts) if seg_parts else np.empty(0, np.int32)
+        ),
+        times=(
+            np.concatenate(time_parts) if time_parts else np.empty(0, np.float64)
+        ),
+        speeds=(
+            np.concatenate(speed_parts)
+            if speed_parts
+            else np.empty(0, np.float32)
+        ),
+    )
+    # np.savez appends .npz when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_database(path: str | Path) -> TrajectoryDatabase:
+    """Inverse of :func:`save_database`."""
+    with np.load(Path(path)) as data:
+        if int(data["version"]) != FORMAT_VERSION:
+            raise ValueError(f"unsupported database format {int(data['version'])}")
+        database = TrajectoryDatabase(
+            num_taxis=int(data["num_taxis"]), num_days=int(data["num_days"])
+        )
+        lengths = data["lengths"]
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        segments = data["segments"]
+        times = data["times"]
+        speeds = data["speeds"]
+        for i, trajectory_id in enumerate(data["trajectory_ids"]):
+            lo, hi = offsets[i], offsets[i + 1]
+            database.add_arrays(
+                trajectory_id=int(trajectory_id),
+                taxi_id=int(data["taxi_ids"][i]),
+                date=int(data["dates"][i]),
+                segments=segments[lo:hi],
+                times=times[lo:hi],
+                speeds=speeds[lo:hi],
+            )
+    database.finalize()
+    return database
+
+
+# -- whole datasets ---------------------------------------------------------------
+
+
+def save_dataset(dataset, directory: str | Path) -> Path:
+    """Persist a ShenzhenLikeDataset to a directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_network(dataset.network, directory / "network.json")
+    save_network(dataset.original_network, directory / "original_network.json")
+    save_database(dataset.database, directory / "database.npz")
+    config = dataclasses.asdict(dataset.config)
+    (directory / "config.json").write_text(json.dumps(config, indent=2))
+    mapping = {
+        "piece_map": {
+            str(k): v for k, v in dataset.resegmentation.piece_map.items()
+        },
+        "origin_map": {
+            str(k): v for k, v in dataset.resegmentation.origin_map.items()
+        },
+    }
+    (directory / "resegmentation.json").write_text(json.dumps(mapping))
+    return directory
+
+
+def load_dataset(directory: str | Path):
+    """Inverse of :func:`save_dataset`."""
+    from repro.datasets.shenzhen_like import (
+        ShenzhenLikeConfig,
+        ShenzhenLikeDataset,
+    )
+    from repro.trajectory.speed_profile import SpeedProfile
+    from repro.network.model import RoadLevel
+
+    directory = Path(directory)
+    config_raw = json.loads((directory / "config.json").read_text())
+    config = ShenzhenLikeConfig(**config_raw)
+    network = load_network(directory / "network.json")
+    original = load_network(directory / "original_network.json")
+    database = load_database(directory / "database.npz")
+    mapping = json.loads((directory / "resegmentation.json").read_text())
+    resegmentation = ResegmentationResult(
+        network=network,
+        piece_map={int(k): v for k, v in mapping["piece_map"].items()},
+        origin_map={int(k): v for k, v in mapping["origin_map"].items()},
+    )
+    profile = SpeedProfile(
+        free_flow_mps={
+            RoadLevel.PRIMARY: config.primary_mps,
+            RoadLevel.SECONDARY: config.secondary_mps,
+        },
+        noise_sigma=config.noise_sigma,
+    )
+    return ShenzhenLikeDataset(
+        config=config,
+        original_network=original,
+        resegmentation=resegmentation,
+        network=network,
+        profile=profile,
+        database=database,
+    )

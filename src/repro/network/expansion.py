@@ -1,0 +1,104 @@
+"""Time-bounded network expansion (Papadias et al. [21] style).
+
+Dijkstra over the segment graph with per-segment travel times.  Used by:
+
+* Con-Index construction (§3.2.2): expanded once with per-slot *maximum*
+  speeds for the Far list and once with *minimum* speeds for the Near list;
+* the exhaustive-search baseline, which expands the physical network from
+  the query location.
+
+The expansion starts "after" a given segment: the start segment itself is at
+time 0 (the traveller is already on it), and a successor is reached after
+traversing it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.network.model import RoadNetwork
+
+#: Travel-time model: seconds to traverse a segment, or ``None``/``inf`` for
+#: an impassable segment in this time slot.
+TravelTimeFn = Callable[[int], float]
+
+
+@dataclass
+class ExpansionResult:
+    """Cover and frontier of a time-bounded expansion.
+
+    Attributes:
+        arrival: segment id -> earliest arrival time (seconds from start);
+            includes the start segment at 0.0.  This is the *cover*: every
+            segment reachable within the budget.
+        frontier: segments in the cover having at least one successor that
+            is outside the cover (or no successors at all) — the outer shell
+            that Fig. 3.3 draws as the Near/Far boundary.
+    """
+
+    arrival: dict[int, float] = field(default_factory=dict)
+    frontier: set[int] = field(default_factory=set)
+
+    @property
+    def cover(self) -> set[int]:
+        return set(self.arrival)
+
+
+def time_bounded_expansion(
+    network: RoadNetwork,
+    start_segment: int,
+    budget_s: float,
+    travel_time: TravelTimeFn,
+    reverse: bool = False,
+) -> ExpansionResult:
+    """Expand from ``start_segment`` for at most ``budget_s`` seconds.
+
+    A successor segment ``r'`` of ``r`` is reached at
+    ``arrival(r) + travel_time(r')`` — the cost of traversing ``r'`` itself —
+    and belongs to the cover if that time is within budget.  This matches
+    how the connection tables record "the nearest (farthest) road segments
+    that could be arrived at within the given time slot".
+
+    Args:
+        network: road network.
+        start_segment: segment the traveller starts on (arrival time 0).
+        budget_s: time budget in seconds (>= 0).
+        travel_time: seconds to traverse a given segment id; return ``inf``
+            to mark a segment impassable.
+        reverse: expand backwards over predecessors, yielding the set of
+            segments *from which* the start segment can be reached within
+            the budget (used by reverse reachability queries).
+
+    Returns:
+        The cover/frontier as an :class:`ExpansionResult`.
+    """
+    if budget_s < 0:
+        raise ValueError(f"budget must be >= 0, got {budget_s}")
+    step_of = network.predecessors if reverse else network.successors
+    result = ExpansionResult()
+    arrival = result.arrival
+    heap: list[tuple[float, int]] = [(0.0, start_segment)]
+    best: dict[int, float] = {start_segment: 0.0}
+    while heap:
+        time_now, segment = heapq.heappop(heap)
+        if time_now > best.get(segment, float("inf")):
+            continue
+        arrival[segment] = time_now
+        for neighbor in step_of(segment):
+            cost = travel_time(neighbor)
+            if cost is None or cost == float("inf"):
+                continue
+            reach = time_now + cost
+            if reach > budget_s:
+                continue
+            if reach < best.get(neighbor, float("inf")):
+                best[neighbor] = reach
+                heapq.heappush(heap, (reach, neighbor))
+    cover = set(arrival)
+    for segment in cover:
+        neighbors = step_of(segment)
+        if not neighbors or any(s not in cover for s in neighbors):
+            result.frontier.add(segment)
+    return result

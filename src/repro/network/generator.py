@@ -1,0 +1,203 @@
+"""Synthetic road-network generators.
+
+Substitute for the (proprietary) Shenzhen road network.  Three generators:
+
+* :func:`grid_city` — a Manhattan grid with designated primary arterials,
+  the workhorse for evaluation (rush-hour dynamics show up as the paper's
+  highway-vs-local-road asymmetry, §4.2.1);
+* :func:`ring_radial_city` — ring roads plus radial spokes, a common Chinese
+  metropolis topology;
+* :func:`random_planar_city` — a random planar graph via Delaunay
+  triangulation, for robustness tests.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.network.model import RoadLevel, RoadNetwork, RoadSegment
+from repro.spatial.geometry import Point
+
+
+def _add_road(
+    network: RoadNetwork,
+    node_a: int,
+    node_b: int,
+    level: RoadLevel,
+    two_way: bool = True,
+) -> list[int]:
+    """Add a straight road between two nodes; returns created segment ids."""
+    point_a = network.node_point(node_a)
+    point_b = network.node_point(node_b)
+    forward_id = network.next_segment_id()
+    if two_way:
+        backward_id = forward_id + 1
+        network.add_segment(
+            RoadSegment(
+                segment_id=forward_id,
+                start_node=node_a,
+                end_node=node_b,
+                shape=(point_a, point_b),
+                level=level,
+                twin_id=backward_id,
+            )
+        )
+        network.add_segment(
+            RoadSegment(
+                segment_id=backward_id,
+                start_node=node_b,
+                end_node=node_a,
+                shape=(point_b, point_a),
+                level=level,
+                twin_id=forward_id,
+            )
+        )
+        return [forward_id, backward_id]
+    network.add_segment(
+        RoadSegment(
+            segment_id=forward_id,
+            start_node=node_a,
+            end_node=node_b,
+            shape=(point_a, point_b),
+            level=level,
+            twin_id=None,
+        )
+    )
+    return [forward_id]
+
+
+def grid_city(
+    rows: int = 12,
+    cols: int = 12,
+    spacing: float = 500.0,
+    primary_every: int = 4,
+    seed: int = 7,
+    jitter: float = 0.0,
+    center_origin: bool = True,
+) -> RoadNetwork:
+    """A rows x cols Manhattan grid.
+
+    Args:
+        rows: number of horizontal streets (node rows).
+        cols: number of vertical streets (node columns).
+        spacing: distance between adjacent intersections, metres.
+        primary_every: every k-th row/column is a PRIMARY arterial
+            (0 disables arterials).
+        seed: RNG seed for jitter.
+        jitter: max random offset applied to intersection coordinates, to
+            break exact grid symmetry (metres).
+        center_origin: place the grid centre at (0, 0) so the paper's query
+            location maps near the middle of the city.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid needs at least 2x2 intersections")
+    rng = random.Random(seed)
+    network = RoadNetwork()
+    offset_x = -(cols - 1) * spacing / 2.0 if center_origin else 0.0
+    offset_y = -(rows - 1) * spacing / 2.0 if center_origin else 0.0
+    for row in range(rows):
+        for col in range(cols):
+            dx = rng.uniform(-jitter, jitter) if jitter else 0.0
+            dy = rng.uniform(-jitter, jitter) if jitter else 0.0
+            network.add_node(
+                row * cols + col,
+                Point(offset_x + col * spacing + dx, offset_y + row * spacing + dy),
+            )
+
+    def level_for(row: int | None, col: int | None) -> RoadLevel:
+        if primary_every and row is not None and row % primary_every == 0:
+            return RoadLevel.PRIMARY
+        if primary_every and col is not None and col % primary_every == 0:
+            return RoadLevel.PRIMARY
+        return RoadLevel.SECONDARY
+
+    for row in range(rows):
+        for col in range(cols):
+            node = row * cols + col
+            if col + 1 < cols:
+                _add_road(network, node, node + 1, level_for(row, None))
+            if row + 1 < rows:
+                _add_road(network, node, node + cols, level_for(None, col))
+    return network
+
+
+def ring_radial_city(
+    rings: int = 4,
+    spokes: int = 8,
+    ring_spacing: float = 800.0,
+    seed: int = 7,
+) -> RoadNetwork:
+    """Concentric ring roads connected by radial spokes.
+
+    Rings are PRIMARY (they model urban expressway loops); spokes alternate
+    primary/secondary.  A centre node joins the innermost spoke ends.
+    """
+    if rings < 1 or spokes < 3:
+        raise ValueError("need >= 1 ring and >= 3 spokes")
+    network = RoadNetwork()
+    network.add_node(0, Point(0.0, 0.0))
+    node_id = 1
+    ring_nodes: list[list[int]] = []
+    for ring in range(1, rings + 1):
+        radius = ring * ring_spacing
+        nodes = []
+        for spoke in range(spokes):
+            angle = 2.0 * math.pi * spoke / spokes
+            network.add_node(
+                node_id, Point(radius * math.cos(angle), radius * math.sin(angle))
+            )
+            nodes.append(node_id)
+            node_id += 1
+        ring_nodes.append(nodes)
+    for ring, nodes in enumerate(ring_nodes):
+        for i, node in enumerate(nodes):
+            _add_road(network, node, nodes[(i + 1) % spokes], RoadLevel.PRIMARY)
+        for i, node in enumerate(nodes):
+            level = RoadLevel.PRIMARY if i % 2 == 0 else RoadLevel.SECONDARY
+            inner = 0 if ring == 0 else ring_nodes[ring - 1][i]
+            _add_road(network, inner, node, level)
+    return network
+
+
+def random_planar_city(
+    num_nodes: int = 80,
+    extent: float = 5000.0,
+    seed: int = 7,
+    primary_fraction: float = 0.15,
+) -> RoadNetwork:
+    """A random planar network from a Delaunay triangulation of random sites.
+
+    Long triangulation edges (top ``primary_fraction`` by length) become
+    PRIMARY roads, mimicking arterials that cut across neighbourhoods.
+    """
+    from scipy.spatial import Delaunay  # local import: scipy only needed here
+    import numpy as np
+
+    if num_nodes < 4:
+        raise ValueError("need >= 4 nodes for a triangulation")
+    rng = np.random.default_rng(seed)
+    sites = rng.uniform(-extent / 2.0, extent / 2.0, size=(num_nodes, 2))
+    triangulation = Delaunay(sites)
+    network = RoadNetwork()
+    for i, (x, y) in enumerate(sites):
+        network.add_node(i, Point(float(x), float(y)))
+    edges: set[tuple[int, int]] = set()
+    for simplex in triangulation.simplices:
+        for i in range(3):
+            a, b = int(simplex[i]), int(simplex[(i + 1) % 3])
+            edges.add((min(a, b), max(a, b)))
+    lengths = {
+        edge: network.node_point(edge[0]).distance_to(network.node_point(edge[1]))
+        for edge in edges
+    }
+    cutoff_rank = max(1, int(len(edges) * primary_fraction))
+    primary_edges = set(
+        sorted(edges, key=lambda e: lengths[e], reverse=True)[:cutoff_rank]
+    )
+    for edge in sorted(edges):
+        level = RoadLevel.PRIMARY if edge in primary_edges else RoadLevel.SECONDARY
+        _add_road(network, edge[0], edge[1], level)
+    return network

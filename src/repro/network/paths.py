@@ -1,0 +1,113 @@
+"""Shortest paths over the segment graph.
+
+MQMB's overlap-elimination rule needs the nearest seed segment to a
+candidate (``argmin dis(r', b)``, §3.3.2); the thesis cites "shortest path
+techniques" for this.  We provide both network (Dijkstra) distance and the
+cheap Euclidean midpoint distance, plus full path reconstruction used by the
+trajectory generator's trip mode and the examples.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.network.model import RoadNetwork
+
+#: Cost model for traversing a segment: metres (distance mode) or seconds
+#: (time mode).
+CostFn = Callable[[int], float]
+
+
+def dijkstra_from_segment(
+    network: RoadNetwork,
+    start_segment: int,
+    cost: CostFn | None = None,
+    max_cost: float = float("inf"),
+    targets: set[int] | None = None,
+) -> dict[int, float]:
+    """Single-source shortest costs over the segment graph.
+
+    The start segment costs 0 (the traveller is already on it); moving onto
+    a successor pays that successor's cost.
+
+    Args:
+        network: road network.
+        start_segment: source segment id.
+        cost: per-segment traversal cost; defaults to segment length.
+        max_cost: stop expanding beyond this total cost.
+        targets: optional early-exit set — stop once all are settled.
+
+    Returns:
+        segment id -> minimal cost, for every settled segment.
+    """
+    if cost is None:
+        cost = lambda sid: network.segment(sid).length  # noqa: E731
+    remaining = set(targets) if targets else None
+    dist: dict[int, float] = {}
+    best: dict[int, float] = {start_segment: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, start_segment)]
+    while heap:
+        d, segment = heapq.heappop(heap)
+        if d > best.get(segment, float("inf")):
+            continue
+        dist[segment] = d
+        if remaining is not None:
+            remaining.discard(segment)
+            if not remaining:
+                return dist
+        for successor in network.successors(segment):
+            step = cost(successor)
+            if step == float("inf"):
+                continue
+            nd = d + step
+            if nd > max_cost:
+                continue
+            if nd < best.get(successor, float("inf")):
+                best[successor] = nd
+                heapq.heappush(heap, (nd, successor))
+    return dist
+
+
+def network_distance(
+    network: RoadNetwork, seg_a: int, seg_b: int, cost: CostFn | None = None
+) -> float:
+    """Shortest network cost from ``seg_a`` to ``seg_b`` (inf if unreachable)."""
+    dist = dijkstra_from_segment(network, seg_a, cost=cost, targets={seg_b})
+    return dist.get(seg_b, float("inf"))
+
+
+def shortest_path_segments(
+    network: RoadNetwork,
+    start_segment: int,
+    end_segment: int,
+    cost: CostFn | None = None,
+) -> list[int] | None:
+    """The segment sequence of a shortest path, or None if unreachable."""
+    if cost is None:
+        cost = lambda sid: network.segment(sid).length  # noqa: E731
+    best: dict[int, float] = {start_segment: 0.0}
+    parent: dict[int, int] = {}
+    heap: list[tuple[float, int]] = [(0.0, start_segment)]
+    settled: set[int] = set()
+    while heap:
+        d, segment = heapq.heappop(heap)
+        if segment in settled:
+            continue
+        settled.add(segment)
+        if segment == end_segment:
+            path = [segment]
+            while path[-1] != start_segment:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path
+        for successor in network.successors(segment):
+            step = cost(successor)
+            if step == float("inf"):
+                continue
+            nd = d + step
+            if nd < best.get(successor, float("inf")):
+                best[successor] = nd
+                parent[successor] = segment
+                heapq.heappush(heap, (nd, successor))
+    return None

@@ -1,0 +1,160 @@
+"""Road re-segmentation (§3.1).
+
+The pre-processing component "re-segments the original road network based on
+the given spatial granularity (e.g., 500 meters)": long roads are chopped
+into pieces no longer than the granularity by inserting new intersection
+points, so that reachable regions have fine boundaries instead of ending
+mid-highway.
+
+Two-way roads are re-segmented as pairs so that each new piece keeps a twin
+in the opposite direction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.network.model import RoadNetwork, RoadSegment
+from repro.spatial.geometry import Point, interpolate_along, polyline_length
+
+
+@dataclass
+class ResegmentationResult:
+    """Output of :func:`resegment`.
+
+    Attributes:
+        network: the re-segmented road network.
+        piece_map: original segment id -> ordered list of new segment ids.
+        origin_map: new segment id -> original segment id.
+    """
+
+    network: RoadNetwork
+    piece_map: dict[int, list[int]] = field(default_factory=dict)
+    origin_map: dict[int, int] = field(default_factory=dict)
+
+
+def _split_points(shape: tuple[Point, ...], granularity: float) -> list[Point]:
+    """Cut points along ``shape`` every ``granularity`` metres (exclusive ends)."""
+    length = polyline_length(shape)
+    pieces = max(1, math.ceil(length / granularity))
+    if pieces == 1:
+        return []
+    step = length / pieces
+    return [interpolate_along(shape, step * i) for i in range(1, pieces)]
+
+
+def resegment(network: RoadNetwork, granularity: float = 500.0) -> ResegmentationResult:
+    """Re-segment ``network`` so no segment exceeds ``granularity`` metres.
+
+    Args:
+        network: original road network.
+        granularity: maximum segment length in metres.
+
+    Returns:
+        A :class:`ResegmentationResult` with the new network and id mappings.
+    """
+    if granularity <= 0:
+        raise ValueError(f"granularity must be positive, got {granularity}")
+    out = RoadNetwork()
+    for node_id, point in network.nodes():
+        out.add_node(node_id, point)
+
+    result = ResegmentationResult(network=out)
+    next_segment = 0
+    handled: set[int] = set()
+
+    def add_chain(
+        segment: RoadSegment, waypoints: list[Point], twin_ids: list[int] | None
+    ) -> list[int]:
+        """Create the chain of pieces for one directed segment."""
+        nonlocal next_segment
+        chain_nodes = [segment.start_node]
+        for waypoint in waypoints:
+            node_id = out.next_node_id()
+            out.add_node(node_id, waypoint)
+            chain_nodes.append(node_id)
+        chain_nodes.append(segment.end_node)
+        created: list[int] = []
+        for i in range(len(chain_nodes) - 1):
+            piece_id = next_segment
+            next_segment += 1
+            twin = twin_ids[len(chain_nodes) - 2 - i] if twin_ids else None
+            out.add_segment(
+                RoadSegment(
+                    segment_id=piece_id,
+                    start_node=chain_nodes[i],
+                    end_node=chain_nodes[i + 1],
+                    shape=(
+                        out.node_point(chain_nodes[i]),
+                        out.node_point(chain_nodes[i + 1]),
+                    ),
+                    level=segment.level,
+                    twin_id=twin,
+                )
+            )
+            created.append(piece_id)
+        return created
+
+    for segment in sorted(network.segments(), key=lambda s: s.segment_id):
+        if segment.segment_id in handled:
+            continue
+        waypoints = _split_points(segment.shape, granularity)
+        if segment.twin_id is None or not network.has_segment(segment.twin_id):
+            pieces = add_chain(segment, waypoints, None)
+            result.piece_map[segment.segment_id] = pieces
+            for piece in pieces:
+                result.origin_map[piece] = segment.segment_id
+            handled.add(segment.segment_id)
+            continue
+        # Two-way pair: build forward pieces first, reserving twin ids for
+        # the backward chain which is created immediately after.
+        twin = network.segment(segment.twin_id)
+        count = len(waypoints) + 1
+        forward_ids = list(range(next_segment, next_segment + count))
+        backward_ids = list(range(next_segment + count, next_segment + 2 * count))
+        pieces_fwd = add_chain(segment, waypoints, backward_ids)
+        assert pieces_fwd == forward_ids
+        # Backward chain reuses the same waypoints in reverse through the
+        # shared intermediate nodes created above.  Reconstruct its chain by
+        # walking forward pieces backwards.
+        backward_waypoints = list(reversed(waypoints))
+        # The backward chain must reuse the nodes created for the forward
+        # chain instead of creating duplicates, so splice manually.
+        chain_nodes = [twin.start_node]
+        forward_nodes = [out.segment(pid).start_node for pid in forward_ids]
+        forward_nodes.append(segment.end_node)
+        interior = list(reversed(forward_nodes[1:-1]))
+        chain_nodes.extend(interior)
+        chain_nodes.append(twin.end_node)
+        created: list[int] = []
+        for i in range(len(chain_nodes) - 1):
+            piece_id = next_segment
+            next_segment += 1
+            out.add_segment(
+                RoadSegment(
+                    segment_id=piece_id,
+                    start_node=chain_nodes[i],
+                    end_node=chain_nodes[i + 1],
+                    shape=(
+                        out.node_point(chain_nodes[i]),
+                        out.node_point(chain_nodes[i + 1]),
+                    ),
+                    level=twin.level,
+                    twin_id=forward_ids[len(chain_nodes) - 2 - i],
+                )
+            )
+            created.append(piece_id)
+        assert created == backward_ids
+        del backward_waypoints  # documented intent; nodes drive the chain
+        result.piece_map[segment.segment_id] = forward_ids
+        result.piece_map[twin.segment_id] = backward_ids
+        for piece in forward_ids:
+            result.origin_map[piece] = segment.segment_id
+        for piece in backward_ids:
+            result.origin_map[piece] = twin.segment_id
+        handled.add(segment.segment_id)
+        handled.add(twin.segment_id)
+
+    out.check_invariants()
+    return result

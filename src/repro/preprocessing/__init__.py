@@ -1,0 +1,5 @@
+"""Pre-processing (§3.1): road re-segmentation + trajectory map matching."""
+
+from repro.preprocessing.pipeline import PreprocessingPipeline, PipelineReport
+
+__all__ = ["PreprocessingPipeline", "PipelineReport"]

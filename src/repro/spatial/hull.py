@@ -1,0 +1,82 @@
+"""Convex hulls and polygon predicates.
+
+Used to report reachable-region *areas* and to draw the region outlines that
+stand in for the paper's Leaflet map screenshots (Figs 4.2, 4.4, 4.6, 4.9).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.spatial.geometry import Point
+
+
+def _cross(o: Point, a: Point, b: Point) -> float:
+    """Z-component of (a - o) x (b - o); >0 means a left turn."""
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def convex_hull(points: Sequence[Point]) -> list[Point]:
+    """Andrew's monotone-chain convex hull, counter-clockwise, no duplicates.
+
+    Degenerate inputs (0–2 distinct points, collinear sets) return the
+    distinct sorted points.
+    """
+    unique = sorted(set(points))
+    if len(unique) <= 2:
+        return unique
+    lower: list[Point] = []
+    for p in unique:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[Point] = []
+    for p in reversed(unique):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:  # all points collinear
+        return unique
+    return hull
+
+
+def polygon_area(polygon: Sequence[Point]) -> float:
+    """Absolute area of a simple polygon (shoelace formula)."""
+    if len(polygon) < 3:
+        return 0.0
+    total = 0.0
+    for i, p in enumerate(polygon):
+        q = polygon[(i + 1) % len(polygon)]
+        total += p.x * q.y - q.x * p.y
+    return abs(total) / 2.0
+
+
+def point_in_polygon(point: Point, polygon: Sequence[Point]) -> bool:
+    """Ray-casting point-in-polygon test (boundary counts as inside)."""
+    n = len(polygon)
+    if n < 3:
+        return False
+    inside = False
+    j = n - 1
+    for i in range(n):
+        pi, pj = polygon[i], polygon[j]
+        # On-edge check for robustness on boundary points.
+        if _on_segment(point, pi, pj):
+            return True
+        if (pi.y > point.y) != (pj.y > point.y):
+            x_cross = pi.x + (point.y - pi.y) * (pj.x - pi.x) / (pj.y - pi.y)
+            if point.x < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+def _on_segment(point: Point, a: Point, b: Point, eps: float = 1e-9) -> bool:
+    cross = abs(_cross(a, b, point))
+    if cross > eps * max(1.0, a.distance_to(b)):
+        return False
+    return (
+        min(a.x, b.x) - eps <= point.x <= max(a.x, b.x) + eps
+        and min(a.y, b.y) - eps <= point.y <= max(a.y, b.y) + eps
+    )

@@ -1,0 +1,37 @@
+"""Simulated disk storage substrate.
+
+The paper's central performance argument is about *disk I/O*: verifying
+trajectory reachability segment by segment reads enormous trajectory time
+lists from disk, and the ST-Index/Con-Index design exists to skip most of
+those reads.  This package provides the storage substrate that makes those
+savings first-class and measurable:
+
+* :class:`~repro.storage.disk.SimulatedDisk` — a page-addressed disk with
+  read/write counters and an accounted latency model.
+* :class:`~repro.storage.pagestore.PageStore` — a record store on top of the
+  disk (records may span pages).
+* :class:`~repro.storage.pagestore.BufferPool` — an LRU page cache; only
+  cache misses charge disk reads, mirroring a DBMS buffer manager.
+* :mod:`~repro.storage.serialization` — compact binary record codecs.
+"""
+
+from repro.storage.disk import DiskStats, SimulatedDisk
+from repro.storage.pagestore import BufferPool, PageStore, RecordPointer
+from repro.storage.serialization import (
+    decode_int_list,
+    decode_str,
+    encode_int_list,
+    encode_str,
+)
+
+__all__ = [
+    "SimulatedDisk",
+    "DiskStats",
+    "PageStore",
+    "BufferPool",
+    "RecordPointer",
+    "encode_int_list",
+    "decode_int_list",
+    "encode_str",
+    "decode_str",
+]

@@ -1,0 +1,147 @@
+"""Record-oriented storage on top of the simulated disk.
+
+:class:`PageStore` packs variable-length records into fixed-size pages; a
+record that does not fit the remaining space of the current page spills onto
+freshly allocated continuation pages.  Reading a record therefore touches
+``ceil(record bytes / page size)``-ish pages — exactly the cost model the
+paper's index design optimises against.
+
+:class:`BufferPool` interposes an LRU page cache, so repeated access to hot
+pages (e.g. the start segment's time list during trace-back search) is free
+after the first read, mirroring a DBMS buffer manager.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.storage.disk import SimulatedDisk
+
+
+@dataclass(frozen=True)
+class RecordPointer:
+    """Location of a stored record: its page chain and total length."""
+
+    page_ids: tuple[int, ...]
+    offset: int
+    length: int
+
+
+class PageStore:
+    """Append-only record store over a :class:`SimulatedDisk`.
+
+    Records are appended with :meth:`append` and fetched with :meth:`read`.
+    The store keeps an in-memory write buffer for the tail page and flushes
+    it page-at-a-time; directory state (record pointers) lives in memory, as
+    index directories do in the paper's design, while record *payloads* cost
+    disk I/O to read back.
+    """
+
+    def __init__(self, disk: SimulatedDisk) -> None:
+        self._disk = disk
+        self._tail_page_id = disk.allocate()
+        self._tail = bytearray()
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        return self._disk
+
+    def append(self, payload: bytes) -> RecordPointer:
+        """Store ``payload`` and return a pointer for later reads."""
+        page_size = self._disk.page_size
+        offset = len(self._tail)
+        pages = [self._tail_page_id]
+        remaining = memoryview(bytes(payload))
+        space = page_size - len(self._tail)
+        take = min(space, len(remaining))
+        self._tail.extend(remaining[:take])
+        remaining = remaining[take:]
+        self._flush_tail()
+        while len(remaining) > 0:
+            self._tail_page_id = self._disk.allocate()
+            self._tail = bytearray()
+            take = min(page_size, len(remaining))
+            self._tail.extend(remaining[:take])
+            remaining = remaining[take:]
+            pages.append(self._tail_page_id)
+            self._flush_tail()
+        if len(self._tail) == page_size:
+            self._tail_page_id = self._disk.allocate()
+            self._tail = bytearray()
+        return RecordPointer(tuple(pages), offset, len(payload))
+
+    def read(self, pointer: RecordPointer, pool: "BufferPool | None" = None) -> bytes:
+        """Read a record back; every page in its chain is charged (or cached)."""
+        chunks: list[bytes] = []
+        needed = pointer.length
+        for index, page_id in enumerate(pointer.page_ids):
+            page = (
+                pool.get_page(page_id)
+                if pool is not None
+                else self._disk.read_page(page_id)
+            )
+            start = pointer.offset if index == 0 else 0
+            chunk = page[start : start + needed]
+            chunks.append(chunk)
+            needed -= len(chunk)
+            if needed <= 0:
+                break
+        data = b"".join(chunks)
+        if len(data) != pointer.length:
+            raise ValueError(
+                f"short read: wanted {pointer.length} bytes, got {len(data)}"
+            )
+        return data
+
+    def _flush_tail(self) -> None:
+        self._disk.write_page(self._tail_page_id, bytes(self._tail))
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of disk pages.
+
+    Args:
+        disk: backing simulated disk.
+        capacity: maximum number of cached pages; ``0`` disables caching
+            (every access is a disk read).
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._disk = disk
+        self.capacity = capacity
+        self._pages: OrderedDict[int, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        disk.attach_pool(self)
+
+    def get_page(self, page_id: int) -> bytes:
+        """Return a page, reading from disk only on a cache miss."""
+        if self.capacity == 0:
+            self.misses += 1
+            return self._disk.read_page(page_id)
+        cached = self._pages.get(page_id)
+        if cached is not None:
+            self._pages.move_to_end(page_id)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        payload = self._disk.read_page(page_id)
+        self._pages[page_id] = payload
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+        return payload
+
+    def invalidate(self, page_id: int | None = None) -> None:
+        """Drop one page (or everything) from the cache."""
+        if page_id is None:
+            self._pages.clear()
+        else:
+            self._pages.pop(page_id, None)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

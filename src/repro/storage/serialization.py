@@ -1,0 +1,106 @@
+"""Compact binary codecs for records stored on the simulated disk.
+
+Time lists (§3.2.1) are lists of integer trajectory IDs keyed by
+``(road segment, time slot, date)``; connection tables (§3.2.2) are lists of
+integer segment IDs.  Both are stored as length-prefixed arrays of unsigned
+varints so that record size — and therefore the number of pages a read
+touches — tracks the actual data volume, which is what the paper's I/O
+argument depends on.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+class SerializationError(Exception):
+    """Raised when a payload cannot be decoded."""
+
+
+def _encode_varint(value: int) -> bytes:
+    """LEB128-style unsigned varint."""
+    if value < 0:
+        raise SerializationError(f"varints are unsigned, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(payload: bytes, offset: int) -> tuple[int, int]:
+    """Decode one varint at ``offset``; return (value, next offset)."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(payload):
+            raise SerializationError("truncated varint")
+        byte = payload[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise SerializationError("varint too long")
+
+
+def encode_int_list(values: list[int] | tuple[int, ...]) -> bytes:
+    """Encode a list of non-negative ints as count-prefixed varints.
+
+    Sorted inputs are delta-encoded implicitly by the caller if desired; this
+    codec stores values verbatim so it round-trips arbitrary order.
+    """
+    parts = [_encode_varint(len(values))]
+    parts.extend(_encode_varint(v) for v in values)
+    return b"".join(parts)
+
+
+def decode_int_list(payload: bytes) -> list[int]:
+    """Inverse of :func:`encode_int_list`."""
+    count, offset = _decode_varint(payload, 0)
+    values: list[int] = []
+    for _ in range(count):
+        value, offset = _decode_varint(payload, offset)
+        values.append(value)
+    return values
+
+
+def encode_str(text: str) -> bytes:
+    """Encode a UTF-8 string with a 4-byte length prefix."""
+    raw = text.encode("utf-8")
+    return struct.pack("<I", len(raw)) + raw
+
+
+def decode_str(payload: bytes) -> str:
+    """Inverse of :func:`encode_str`."""
+    if len(payload) < 4:
+        raise SerializationError("truncated string header")
+    (length,) = struct.unpack_from("<I", payload, 0)
+    raw = payload[4 : 4 + length]
+    if len(raw) != length:
+        raise SerializationError("truncated string payload")
+    return raw.decode("utf-8")
+
+
+def encode_float_list(values: list[float] | tuple[float, ...]) -> bytes:
+    """Encode floats as count-prefixed little-endian doubles."""
+    return struct.pack("<I", len(values)) + struct.pack(
+        f"<{len(values)}d", *values
+    )
+
+
+def decode_float_list(payload: bytes) -> list[float]:
+    """Inverse of :func:`encode_float_list`."""
+    if len(payload) < 4:
+        raise SerializationError("truncated float list header")
+    (count,) = struct.unpack_from("<I", payload, 0)
+    expected = 4 + 8 * count
+    if len(payload) < expected:
+        raise SerializationError("truncated float list payload")
+    return list(struct.unpack_from(f"<{count}d", payload, 4))

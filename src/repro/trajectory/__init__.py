@@ -1,0 +1,35 @@
+"""Trajectory substrate.
+
+Models GPS trajectories (§2.1), generates a synthetic taxi fleet standing in
+for the Shenzhen dataset (Table 4.1), map-matches raw GPS onto the
+re-segmented network (§3.1, in the spirit of the interactive-voting matcher
+[29]), and stores the cleaned matched-trajectory database that index
+construction consumes.
+"""
+
+from repro.trajectory.model import (
+    GPSPoint,
+    MatchedTrajectory,
+    RawTrajectory,
+    SegmentVisit,
+    day_time,
+    make_trajectory_id,
+)
+from repro.trajectory.speed_profile import SpeedProfile
+from repro.trajectory.generator import FleetConfig, TaxiFleetGenerator
+from repro.trajectory.map_matching import MapMatcher
+from repro.trajectory.store import TrajectoryDatabase
+
+__all__ = [
+    "GPSPoint",
+    "RawTrajectory",
+    "SegmentVisit",
+    "MatchedTrajectory",
+    "day_time",
+    "make_trajectory_id",
+    "SpeedProfile",
+    "TaxiFleetGenerator",
+    "FleetConfig",
+    "MapMatcher",
+    "TrajectoryDatabase",
+]

@@ -1,0 +1,184 @@
+"""Map matching: raw GPS points -> road-segment routes (§3.1).
+
+The thesis delegates this step to the interactive-voting based matcher of
+Yuan et al. [29].  We implement a matcher with the same structure as that
+family of algorithms:
+
+1. *candidate generation* — for each GPS point, the nearby segments within a
+   search radius (found through a grid index);
+2. *scoring* — an emission score (Gaussian in the GPS-to-segment distance)
+   plus a transition score rewarding candidate pairs that are topologically
+   adjacent and whose along-road displacement matches the GPS displacement;
+3. *global resolution* — Viterbi dynamic programming over the candidate
+   lattice (the "voting" step collapses to the optimal path here).
+
+The output is the cleaned matched trajectory: segment visits with entry
+times and observed speeds, exactly what index construction consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.network.model import RoadNetwork
+from repro.spatial.geometry import BBox, Point
+from repro.spatial.grid import GridIndex
+from repro.trajectory.model import (
+    MatchedTrajectory,
+    RawTrajectory,
+    SegmentVisit,
+)
+
+
+@dataclass
+class MatcherConfig:
+    """Tuning knobs for :class:`MapMatcher`.
+
+    Attributes:
+        search_radius_m: candidate segments must lie within this distance of
+            the GPS point.
+        gps_sigma_m: expected GPS noise (emission model scale).
+        beta_m: transition tolerance — how much along-road displacement may
+            deviate from GPS displacement before being penalised.
+        max_candidates: cap on candidates per point (nearest kept).
+    """
+
+    search_radius_m: float = 60.0
+    gps_sigma_m: float = 15.0
+    beta_m: float = 80.0
+    max_candidates: int = 8
+
+
+class MapMatcher:
+    """Match raw GPS trajectories onto a road network."""
+
+    def __init__(self, network: RoadNetwork, config: MatcherConfig | None = None):
+        self.network = network
+        self.config = config if config is not None else MatcherConfig()
+        bounds = network.bounds()
+        # Cell size ~ candidate radius keeps candidate lookups near O(1).
+        cell = max(50.0, self.config.search_radius_m)
+        self._grid = GridIndex(bounds, cell_size=cell)
+        for segment in network.segments():
+            self._grid.insert(segment.bbox, segment.segment_id)
+        self._successor_sets = {
+            sid: set(network.successors(sid)) for sid in network.segment_ids()
+        }
+
+    # -- candidate generation --------------------------------------------
+
+    def candidates(self, point: Point) -> list[tuple[int, float]]:
+        """Nearby ``(segment_id, distance)`` pairs, nearest first."""
+        radius = self.config.search_radius_m
+        window = BBox.around(point, radius)
+        found: list[tuple[int, float]] = []
+        for segment_id in self._grid.search(window):
+            distance = self.network.segment(segment_id).distance_to_point(point)
+            if distance <= radius:
+                found.append((segment_id, distance))
+        found.sort(key=lambda pair: pair[1])
+        return found[: self.config.max_candidates]
+
+    # -- scoring ------------------------------------------------------------
+
+    def _emission(self, distance: float) -> float:
+        z = distance / self.config.gps_sigma_m
+        return -0.5 * z * z
+
+    def _transition(
+        self, prev_segment: int, next_segment: int, gps_displacement: float
+    ) -> float:
+        if prev_segment == next_segment:
+            return 0.0
+        road_gap = self.network.euclidean_distance(prev_segment, next_segment)
+        penalty = -abs(road_gap - gps_displacement) / self.config.beta_m
+        if next_segment in self._successor_sets[prev_segment]:
+            return penalty  # adjacent: no topology penalty
+        twin = self.network.segment(prev_segment).twin_id
+        if twin is not None and next_segment == twin:
+            return penalty - 1.0  # U-turn: discouraged but possible
+        return penalty - 3.0  # teleport: strongly discouraged
+
+    # -- matching -------------------------------------------------------------
+
+    def match(self, raw: RawTrajectory) -> MatchedTrajectory:
+        """Match one raw trajectory; gaps with no candidates are skipped."""
+        lattice: list[tuple[float, list[tuple[int, float]]]] = []
+        positions: list[Point] = []
+        for gps in raw.points:
+            cands = self.candidates(gps.position)
+            if cands:
+                lattice.append((gps.time_s, cands))
+                positions.append(gps.position)
+        if not lattice:
+            return MatchedTrajectory(
+                trajectory_id=raw.trajectory_id,
+                taxi_id=raw.taxi_id,
+                date=raw.date,
+                visits=[],
+            )
+        # Viterbi over the candidate lattice.
+        _, first_cands = lattice[0]
+        scores = [self._emission(d) for _, d in first_cands]
+        backptr: list[list[int]] = [[-1] * len(first_cands)]
+        for step in range(1, len(lattice)):
+            _, cands = lattice[step]
+            displacement = positions[step].distance_to(positions[step - 1])
+            prev_cands = lattice[step - 1][1]
+            new_scores: list[float] = []
+            pointers: list[int] = []
+            for segment_id, distance in cands:
+                best_score = -math.inf
+                best_prev = 0
+                emit = self._emission(distance)
+                for prev_index, (prev_segment, _) in enumerate(prev_cands):
+                    score = (
+                        scores[prev_index]
+                        + self._transition(prev_segment, segment_id, displacement)
+                        + emit
+                    )
+                    if score > best_score:
+                        best_score = score
+                        best_prev = prev_index
+                new_scores.append(best_score)
+                pointers.append(best_prev)
+            scores = new_scores
+            backptr.append(pointers)
+        # Backtrack.
+        best_index = max(range(len(scores)), key=scores.__getitem__)
+        chosen: list[int] = []
+        index = best_index
+        for step in range(len(lattice) - 1, -1, -1):
+            chosen.append(lattice[step][1][index][0])
+            index = backptr[step][index]
+        chosen.reverse()
+        return self._to_visits(raw, lattice, chosen)
+
+    def _to_visits(
+        self,
+        raw: RawTrajectory,
+        lattice: list[tuple[float, list[tuple[int, float]]]],
+        chosen: list[int],
+    ) -> MatchedTrajectory:
+        """Collapse per-point assignments into segment entry events."""
+        visits: list[SegmentVisit] = []
+        previous_segment: int | None = None
+        for (time_s, _), segment_id in zip(lattice, chosen):
+            if segment_id != previous_segment:
+                speed = self._speed_at(raw, time_s)
+                visits.append(SegmentVisit(segment_id, time_s, speed))
+                previous_segment = segment_id
+        return MatchedTrajectory(
+            trajectory_id=raw.trajectory_id,
+            taxi_id=raw.taxi_id,
+            date=raw.date,
+            visits=visits,
+        )
+
+    @staticmethod
+    def _speed_at(raw: RawTrajectory, time_s: float) -> float:
+        for gps in raw.points:
+            if gps.time_s >= time_s:
+                return max(0.5, gps.speed_mps)
+        return max(0.5, raw.points[-1].speed_mps) if raw.points else 0.5

@@ -1,0 +1,11 @@
+"""Region visualisation: GeoJSON export and ASCII maps.
+
+Stand-ins for the paper's Leaflet screenshots (Figs 4.2, 4.4, 4.6, 4.9):
+:mod:`~repro.viz.geojson` exports result regions as GeoJSON (loadable in
+any web map), :mod:`~repro.viz.ascii_map` renders them in a terminal.
+"""
+
+from repro.viz.geojson import region_to_geojson, write_geojson
+from repro.viz.ascii_map import render_region
+
+__all__ = ["region_to_geojson", "write_geojson", "render_region"]

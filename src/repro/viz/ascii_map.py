@@ -1,0 +1,66 @@
+"""Terminal rendering of reachable regions.
+
+A quick visual check standing in for the paper's map screenshots: the road
+network is rasterised onto a character grid, with reachable segments drawn
+bright (``#`` primary, ``+`` secondary), unreachable ones dim (``.``), the
+start location(s) as ``@`` and empty cells blank.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import QueryResult
+from repro.network.model import RoadLevel, RoadNetwork
+from repro.spatial.geometry import Point
+
+
+def render_region(
+    result: QueryResult,
+    network: RoadNetwork,
+    width: int = 72,
+    height: int = 30,
+) -> str:
+    """Render a query result as ASCII art.
+
+    Args:
+        result: the query result to highlight.
+        network: the road network to draw.
+        width / height: character-grid dimensions.
+    """
+    bounds = network.bounds()
+    if bounds.width <= 0 or bounds.height <= 0:
+        return "(degenerate network)"
+    grid = [[" "] * width for _ in range(height)]
+    priority = {" ": 0, ".": 1, "+": 2, "#": 3, "@": 4}
+
+    def cell_of(point: Point) -> tuple[int, int]:
+        col = int((point.x - bounds.min_x) / bounds.width * (width - 1))
+        row = int((bounds.max_y - point.y) / bounds.height * (height - 1))
+        return max(0, min(height - 1, row)), max(0, min(width - 1, col))
+
+    def draw(point: Point, char: str) -> None:
+        row, col = cell_of(point)
+        if priority[char] > priority[grid[row][col]]:
+            grid[row][col] = char
+
+    for segment in network.segments():
+        reachable = segment.segment_id in result.segments
+        if reachable:
+            char = "#" if segment.level == RoadLevel.PRIMARY else "+"
+        else:
+            char = "."
+        # Sample a few points along the segment so long roads draw as lines.
+        start, end = segment.shape[0], segment.shape[-1]
+        for i in range(5):
+            t = i / 4.0
+            draw(
+                Point(
+                    start.x + t * (end.x - start.x),
+                    start.y + t * (end.y - start.y),
+                ),
+                char,
+            )
+    for start_segment in result.start_segments:
+        if network.has_segment(start_segment):
+            draw(network.segment(start_segment).midpoint, "@")
+    legend = "@ start   # reachable primary   + reachable secondary   . unreachable"
+    return "\n".join("".join(row) for row in grid) + "\n" + legend

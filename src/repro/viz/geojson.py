@@ -1,0 +1,76 @@
+"""GeoJSON export of reachable regions.
+
+Result segments become LineString features in WGS84 (projected around the
+paper's Shenzhen query location, §4.2.1), each carrying the segment id,
+road level and — where the query computed one — the reachability
+probability.  The convex hull of the region is emitted as a Polygon feature
+so the exported file renders like the paper's dashed region outlines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.query import QueryResult
+from repro.network.model import RoadNetwork
+from repro.spatial.geometry import to_lonlat
+from repro.spatial.hull import convex_hull
+
+
+def _segment_feature(
+    network: RoadNetwork, segment_id: int, probability: float | None
+) -> dict[str, Any]:
+    segment = network.segment(segment_id)
+    coordinates = [list(to_lonlat(p)) for p in segment.shape]
+    properties: dict[str, Any] = {
+        "segment_id": segment_id,
+        "level": segment.level.name.lower(),
+        "length_m": round(segment.length, 1),
+    }
+    if probability is not None:
+        properties["probability"] = round(probability, 4)
+    return {
+        "type": "Feature",
+        "geometry": {"type": "LineString", "coordinates": coordinates},
+        "properties": properties,
+    }
+
+
+def region_to_geojson(
+    result: QueryResult, network: RoadNetwork, include_hull: bool = True
+) -> dict[str, Any]:
+    """Build a GeoJSON FeatureCollection for a query result."""
+    features = [
+        _segment_feature(network, sid, result.probabilities.get(sid))
+        for sid in sorted(result.segments)
+    ]
+    if include_hull and len(result.segments) >= 3:
+        hull = convex_hull(
+            [network.segment(s).midpoint for s in result.segments]
+        )
+        if len(hull) >= 3:
+            ring = [list(to_lonlat(p)) for p in hull]
+            ring.append(ring[0])
+            features.append(
+                {
+                    "type": "Feature",
+                    "geometry": {"type": "Polygon", "coordinates": [ring]},
+                    "properties": {"role": "region_outline"},
+                }
+            )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def write_geojson(
+    result: QueryResult,
+    network: RoadNetwork,
+    path: str | Path,
+    include_hull: bool = True,
+) -> Path:
+    """Write a query result to a ``.geojson`` file and return its path."""
+    path = Path(path)
+    payload = region_to_geojson(result, network, include_hull=include_hull)
+    path.write_text(json.dumps(payload, indent=2))
+    return path

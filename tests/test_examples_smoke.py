@@ -1,0 +1,64 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable and its ``main`` runs end-to-end on a shrunken
+dataset (monkeypatched config) so the suite stays fast while proving the
+scripts are not rotting.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.shenzhen_like import TEST_CONFIG
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def run_example(name: str, monkeypatch, capsys, argv=None):
+    module = importlib.import_module(name)
+    monkeypatch.setattr(module, "DEMO_CONFIG", TEST_CONFIG, raising=True)
+    monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example("quickstart", monkeypatch, capsys)
+    assert "Prob-reachable region" in out
+    assert "Cost comparison" in out
+    assert "Regions identical" in out
+
+
+def test_location_advertising(monkeypatch, capsys, tmp_path):
+    out = run_example(
+        "location_advertising", monkeypatch, capsys, argv=[str(tmp_path)]
+    )
+    assert "Reachable region at off-peak" in out
+    assert "GeoJSON written" in out
+    assert list(tmp_path.glob("*.geojson"))
+
+
+def test_business_coverage(monkeypatch, capsys):
+    out = run_example("business_coverage", monkeypatch, capsys)
+    assert "Combined coverage" in out
+    assert "MQMB+TBS" in out
+
+
+def test_emergency_dispatch(monkeypatch, capsys):
+    out = run_example("emergency_dispatch", monkeypatch, capsys)
+    assert "Coverage by confidence level" in out
+    assert "over the day" in out
+
+
+def test_poi_recommendation(monkeypatch, capsys):
+    out = run_example("poi_recommendation", monkeypatch, capsys)
+    assert "Lunch recommendation" in out

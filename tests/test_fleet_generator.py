@@ -1,0 +1,153 @@
+"""Tests for the taxi-fleet trajectory generator."""
+
+import pytest
+
+from repro.network.generator import grid_city
+from repro.trajectory.generator import FleetConfig, TaxiFleetGenerator
+from repro.trajectory.model import SECONDS_PER_DAY
+from repro.trajectory.store import TrajectoryDatabase
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_city(rows=4, cols=4, spacing=600.0, primary_every=2, seed=3)
+
+
+SMALL = dict(num_taxis=3, num_days=2, day_start_s=8 * 3600.0, day_end_s=10 * 3600.0)
+
+
+class TestFleetConfig:
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            FleetConfig(num_taxis=0)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            FleetConfig(day_start_s=100.0, day_end_s=50.0)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            FleetConfig(mode="teleport")
+
+    def test_bad_slow_prob(self):
+        with pytest.raises(ValueError):
+            FleetConfig(slow_prob=1.5)
+
+
+class TestTripsMode:
+    def test_one_trajectory_per_taxi_day(self, network):
+        gen = TaxiFleetGenerator(network, config=FleetConfig(**SMALL))
+        trajectories = list(gen.generate_matched())
+        assert len(trajectories) == 6
+        ids = {t.trajectory_id for t in trajectories}
+        assert len(ids) == 6
+
+    def test_deterministic(self, network):
+        a = TaxiFleetGenerator(network, config=FleetConfig(**SMALL))
+        b = TaxiFleetGenerator(network, config=FleetConfig(**SMALL))
+        ta = next(a.generate_matched())
+        tb = next(b.generate_matched())
+        assert ta.segments() == tb.segments()
+        assert [v.time_s for v in ta.visits] == [v.time_s for v in tb.visits]
+
+    def test_times_monotone_and_in_window(self, network):
+        gen = TaxiFleetGenerator(network, config=FleetConfig(**SMALL))
+        for traj in gen.generate_matched():
+            traj.check_monotone()
+            assert all(
+                SMALL["day_start_s"] <= v.time_s < SMALL["day_end_s"]
+                for v in traj.visits
+            )
+
+    def test_routes_are_connected(self, network):
+        gen = TaxiFleetGenerator(network, config=FleetConfig(**SMALL))
+        traj = next(gen.generate_matched())
+        segments = traj.segments()
+        times = [v.time_s for v in traj.visits]
+        for i in range(len(segments) - 1):
+            a, b = segments[i], segments[i + 1]
+            gap = times[i + 1] - times[i]
+            duration = network.segment(a).length / traj.visits[i].speed_mps
+            if gap <= duration + 1e-6:
+                # Continuous driving: consecutive segments must be adjacent.
+                assert b in network.successors(a)
+
+    def test_speeds_positive(self, network):
+        gen = TaxiFleetGenerator(network, config=FleetConfig(**SMALL))
+        for traj in gen.generate_matched():
+            assert all(v.speed_mps >= 0.5 for v in traj.visits)
+
+    def test_generate_into_database(self, network):
+        gen = TaxiFleetGenerator(network, config=FleetConfig(**SMALL))
+        db = TrajectoryDatabase(3, 2)
+        gen.generate_into(db)
+        assert len(db) == 6
+        assert db.stats().num_visits > 0
+
+    def test_generate_into_matches_objects(self, network):
+        cfg = FleetConfig(**SMALL)
+        db = TrajectoryDatabase(3, 2)
+        TaxiFleetGenerator(network, config=cfg).generate_into(db)
+        objects = list(TaxiFleetGenerator(network, config=cfg).generate_matched())
+        for traj in objects:
+            stored = db.get(traj.trajectory_id)
+            assert stored.segments() == traj.segments()
+
+
+class TestWalkMode:
+    def test_walk_generates(self, network):
+        cfg = FleetConfig(mode="walk", **SMALL)
+        gen = TaxiFleetGenerator(network, config=cfg)
+        traj = next(gen.generate_matched())
+        assert len(traj.visits) > 10
+        traj.check_monotone()
+
+    def test_walk_steps_adjacent(self, network):
+        cfg = FleetConfig(mode="walk", **SMALL)
+        gen = TaxiFleetGenerator(network, config=cfg)
+        traj = next(gen.generate_matched())
+        segments = traj.segments()
+        for a, b in zip(segments, segments[1:]):
+            assert b in network.successors(a) or b in network.segment_ids()
+
+
+class TestGPSSampling:
+    def test_raw_points_follow_interval(self, network):
+        cfg = FleetConfig(gps_interval_s=30.0, **SMALL)
+        gen = TaxiFleetGenerator(network, config=cfg)
+        raw, matched = next(gen.generate_raw())
+        assert raw.trajectory_id == matched.trajectory_id
+        assert len(raw.points) > 10
+        raw.check_monotone()
+        gaps = [
+            b.time_s - a.time_s for a, b in zip(raw.points, raw.points[1:])
+        ]
+        # Sampling period is 30 s; idle gaps may stretch individual gaps.
+        assert min(gaps) >= 29.0
+
+    def test_gps_points_near_network(self, network):
+        cfg = FleetConfig(**SMALL)
+        gen = TaxiFleetGenerator(network, config=cfg)
+        raw, _ = next(gen.generate_raw())
+        bounds = network.bounds()
+        for point in raw.points[:50]:
+            # 12 m noise sigma: everything should be within ~100 m of roads.
+            assert bounds.min_x - 100 <= point.position.x <= bounds.max_x + 100
+            assert bounds.min_y - 100 <= point.position.y <= bounds.max_y + 100
+
+
+class TestSlowTraversals:
+    def test_slow_tail_widens_speed_range(self, network):
+        fast_only = FleetConfig(slow_prob=0.0, **SMALL)
+        with_slow = FleetConfig(slow_prob=0.3, **SMALL)
+        speeds_fast = [
+            v.speed_mps
+            for t in TaxiFleetGenerator(network, config=fast_only).generate_matched()
+            for v in t.visits
+        ]
+        speeds_slow = [
+            v.speed_mps
+            for t in TaxiFleetGenerator(network, config=with_slow).generate_matched()
+            for v in t.visits
+        ]
+        assert min(speeds_slow) < min(speeds_fast)

@@ -1,0 +1,107 @@
+"""Deeper checks on the trips-mode generator's routing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.network.generator import grid_city
+from repro.network.paths import network_distance, shortest_path_segments
+from repro.trajectory.generator import FleetConfig, TaxiFleetGenerator
+
+
+@pytest.fixture(scope="module")
+def generator():
+    network = grid_city(rows=4, cols=4, spacing=600.0, primary_every=2, seed=3)
+    config = FleetConfig(
+        num_taxis=2, num_days=1,
+        day_start_s=9 * 3600.0, day_end_s=10 * 3600.0,
+    )
+    return TaxiFleetGenerator(network, config=config)
+
+
+class TestPredecessorMatrix:
+    def test_routes_match_dijkstra(self, generator):
+        """The scipy all-pairs routes equal our own Dijkstra's."""
+        network = generator.network
+        ids = generator._segment_ids
+
+        def time_cost(sid):
+            return network.segment(sid).length / generator._free_flow[sid]
+
+        for src_i, dst_i in [(0, 30), (5, 40), (12, 3)]:
+            route = generator._route(src_i, dst_i)
+            assert route is not None
+            assert route[0] == ids[src_i] and route[-1] == ids[dst_i]
+            for a, b in zip(route, route[1:]):
+                assert b in network.successors(a)
+            own = shortest_path_segments(
+                network, ids[src_i], ids[dst_i], cost=time_cost
+            )
+            route_cost = sum(time_cost(s) for s in route[1:])
+            own_cost = sum(time_cost(s) for s in own[1:])
+            assert route_cost == pytest.approx(own_cost, rel=1e-9)
+
+    def test_distance_matrix_consistent(self, generator):
+        network = generator.network
+        ids = generator._segment_ids
+
+        def time_cost(sid):
+            return network.segment(sid).length / generator._free_flow[sid]
+
+        for src_i, dst_i in [(0, 30), (7, 19)]:
+            scipy_d = float(generator._trip_dist[src_i, dst_i])
+            ours = network_distance(
+                network, ids[src_i], ids[dst_i], cost=time_cost
+            )
+            assert scipy_d == pytest.approx(ours, rel=1e-9)
+
+    def test_route_to_self(self, generator):
+        assert generator._route(4, 4) == [generator._segment_ids[4]]
+
+
+class TestEndpointSampling:
+    def test_cdf_monotone_complete(self, generator):
+        cdf = generator._endpoint_cdf
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_center_bias_favours_downtown(self, generator):
+        import random
+
+        rng = random.Random(5)
+        network = generator.network
+        center = network.bounds().center
+        ids = generator._segment_ids
+        samples = [
+            network.segment(ids[generator._sample_endpoint(rng)]).midpoint
+            for _ in range(800)
+        ]
+        mean_dist = float(
+            np.mean([p.distance_to(center) for p in samples])
+        )
+        uniform_mean = float(
+            np.mean([
+                network.segment(s).midpoint.distance_to(center)
+                for s in ids
+            ])
+        )
+        assert mean_dist < uniform_mean  # downtown pull
+
+
+class TestTripStructure:
+    def test_idle_gaps_exist(self, generator):
+        traj = generator._one_day(0, 0)
+        gaps = []
+        for a, b in zip(traj.visits, traj.visits[1:]):
+            duration = generator._length[a.segment_id] / a.speed_mps
+            slack = (b.time_s - a.time_s) - duration
+            gaps.append(slack)
+        # At least one inter-trip idle gap longer than a minute.
+        assert any(g > 60.0 for g in gaps)
+
+    def test_visits_continuous_within_trip(self, generator):
+        traj = generator._one_day(1, 0)
+        for a, b in zip(traj.visits, traj.visits[1:]):
+            duration = generator._length[a.segment_id] / a.speed_mps
+            slack = (b.time_s - a.time_s) - duration
+            if abs(slack) < 1e-6:  # continuous driving step
+                assert b.segment_id in generator._successors[a.segment_id]

@@ -1,0 +1,205 @@
+"""Tests for dataset persistence and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.persist import (
+    load_database,
+    load_dataset,
+    load_network,
+    save_database,
+    save_dataset,
+    save_network,
+)
+from repro.network.generator import grid_city
+from repro.trajectory.model import MatchedTrajectory, SegmentVisit
+from repro.trajectory.store import TrajectoryDatabase
+
+
+class TestNetworkPersistence:
+    def test_roundtrip(self, tiny_network, tmp_path):
+        path = save_network(tiny_network, tmp_path / "net.json")
+        loaded = load_network(path)
+        assert loaded.num_nodes == tiny_network.num_nodes
+        assert loaded.num_segments == tiny_network.num_segments
+        for seg in tiny_network.segments():
+            other = loaded.segment(seg.segment_id)
+            assert other.start_node == seg.start_node
+            assert other.end_node == seg.end_node
+            assert other.twin_id == seg.twin_id
+            assert other.level == seg.level
+            assert other.length == pytest.approx(seg.length)
+
+    def test_bad_version_rejected(self, tiny_network, tmp_path):
+        path = save_network(tiny_network, tmp_path / "net.json")
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_network(path)
+
+
+class TestDatabasePersistence:
+    def make_db(self):
+        db = TrajectoryDatabase(num_taxis=3, num_days=2)
+        db.add(MatchedTrajectory(0, 0, 0, [
+            SegmentVisit(1, 100.0, 3.5), SegmentVisit(2, 200.0, 4.5),
+        ]))
+        db.add(MatchedTrajectory(4, 1, 1, [SegmentVisit(7, 50.0, 2.0)]))
+        db.finalize()
+        return db
+
+    def test_roundtrip(self, tmp_path):
+        db = self.make_db()
+        path = save_database(db, tmp_path / "db.npz")
+        loaded = load_database(path)
+        assert loaded.num_taxis == 3 and loaded.num_days == 2
+        assert len(loaded) == 2
+        original = db.get(0)
+        restored = loaded.get(0)
+        assert restored.segments() == original.segments()
+        assert [v.time_s for v in restored.visits] == [
+            v.time_s for v in original.visits
+        ]
+        # Speed stats recomputed identically.
+        hour = int(100.0 // 3600)
+        assert loaded.speed_stats(1, hour).min_mps == pytest.approx(
+            db.speed_stats(1, hour).min_mps
+        )
+
+    def test_empty_database(self, tmp_path):
+        db = TrajectoryDatabase(num_taxis=1, num_days=1)
+        path = save_database(db, tmp_path / "empty.npz")
+        loaded = load_database(path)
+        assert len(loaded) == 0
+
+    def test_suffix_added(self, tmp_path):
+        db = self.make_db()
+        path = save_database(db, tmp_path / "db")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+
+class TestDatasetPersistence:
+    def test_roundtrip(self, test_dataset, tmp_path):
+        directory = save_dataset(test_dataset, tmp_path / "ds")
+        loaded = load_dataset(directory)
+        assert loaded.config == test_dataset.config
+        assert loaded.network.num_segments == test_dataset.network.num_segments
+        assert len(loaded.database) == len(test_dataset.database)
+        assert (
+            loaded.database.stats().num_visits
+            == test_dataset.database.stats().num_visits
+        )
+        # The re-segmentation maps survive.
+        assert loaded.resegmentation.piece_map == (
+            test_dataset.resegmentation.piece_map
+        )
+
+    def test_loaded_dataset_answers_queries(self, test_dataset, tmp_path):
+        from repro.core.engine import ReachabilityEngine
+        from repro.core.query import SQuery
+        from repro.spatial.geometry import Point
+        from repro.trajectory.model import day_time
+
+        directory = save_dataset(test_dataset, tmp_path / "ds")
+        loaded = load_dataset(directory)
+        engine = ReachabilityEngine(loaded.network, loaded.database)
+        fresh = ReachabilityEngine(
+            test_dataset.network, test_dataset.database
+        )
+        query = SQuery(Point(0, 0), day_time(11), 600, 0.2)
+        assert engine.s_query(query).segments == fresh.s_query(query).segments
+
+
+class TestCLI:
+    @pytest.fixture(scope="class")
+    def dataset_dir(self, test_dataset, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli") / "ds"
+        save_dataset(test_dataset, directory)
+        return str(directory)
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_time_parsing(self):
+        args = build_parser().parse_args(
+            ["query", "--dataset", "x", "--time", "07:30"]
+        )
+        assert args.time == 7 * 3600 + 30 * 60
+
+    def test_bad_time_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--dataset", "x", "--time", "notatime"]
+            )
+
+    def test_describe(self, dataset_dir, capsys):
+        assert main(["describe", "--dataset", dataset_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Number of taxis" in out
+
+    def test_query(self, dataset_dir, capsys):
+        code = main([
+            "query", "--dataset", dataset_dir,
+            "--x", "0", "--y", "0", "--time", "11:00",
+            "--duration", "10", "--prob", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Prob-reachable region" in out
+        assert "running time" in out
+
+    def test_query_geojson_export(self, dataset_dir, tmp_path, capsys):
+        out_file = tmp_path / "region.geojson"
+        code = main([
+            "query", "--dataset", dataset_dir, "--no-map",
+            "--geojson", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.exists()
+        parsed = json.loads(out_file.read_text())
+        assert parsed["type"] == "FeatureCollection"
+
+    def test_mquery(self, dataset_dir, capsys):
+        code = main([
+            "mquery", "--dataset", dataset_dir, "--no-map",
+            "--location", "0,0", "--location", "800,600",
+        ])
+        assert code == 0
+        assert "Prob-reachable region" in capsys.readouterr().out
+
+    def test_rquery(self, dataset_dir, capsys):
+        code = main([
+            "rquery", "--dataset", dataset_dir, "--no-map",
+            "--x", "0", "--y", "0",
+        ])
+        assert code == 0
+        assert "Prob-reachable region" in capsys.readouterr().out
+
+    def test_bad_location_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mquery", "--dataset", "x", "--location", "oops"]
+            )
+
+    def test_missing_dataset_friendly_error(self, tmp_path, capsys):
+        code = main([
+            "query", "--dataset", str(tmp_path / "nowhere"), "--no-map",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no dataset at" in err
+        assert "build-dataset" in err
+
+    def test_build_dataset(self, tmp_path, capsys):
+        code = main([
+            "build-dataset", "--out", str(tmp_path / "mini"),
+            "--grid", "4", "--taxis", "3", "--days", "2",
+        ])
+        assert code == 0
+        assert (tmp_path / "mini" / "network.json").exists()
+        assert (tmp_path / "mini" / "database.npz").exists()

@@ -1,0 +1,159 @@
+"""Tests for the map matcher (§3.1) and the pre-processing pipeline."""
+
+import pytest
+
+from repro.network.generator import grid_city
+from repro.preprocessing.pipeline import PreprocessingPipeline
+from repro.trajectory.generator import FleetConfig, TaxiFleetGenerator
+from repro.trajectory.map_matching import MapMatcher, MatcherConfig
+from repro.trajectory.model import GPSPoint, RawTrajectory
+from repro.spatial.geometry import Point
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_city(rows=4, cols=4, spacing=600.0, primary_every=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def matcher(network):
+    return MapMatcher(network)
+
+
+def straight_drive(network, segment_ids, speed=8.0, interval=30.0):
+    """Noise-free GPS along a chain of segments."""
+    points = []
+    time_s = 1000.0
+    for sid in segment_ids:
+        seg = network.segment(sid)
+        start, end = seg.shape[0], seg.shape[-1]
+        steps = max(2, int(seg.length / (speed * interval)) + 1)
+        for i in range(steps):
+            t = i / steps
+            points.append(
+                GPSPoint(
+                    trajectory_id=0,
+                    position=Point(
+                        start.x + t * (end.x - start.x),
+                        start.y + t * (end.y - start.y),
+                    ),
+                    time_s=time_s,
+                    speed_mps=speed,
+                )
+            )
+            time_s += interval
+    return RawTrajectory(trajectory_id=0, taxi_id=0, date=0, points=points)
+
+
+class TestCandidates:
+    def test_candidates_near_road(self, network, matcher):
+        seg = network.segment(0)
+        found = matcher.candidates(seg.midpoint)
+        assert any(sid == 0 for sid, _ in found)
+
+    def test_candidates_sorted_by_distance(self, network, matcher):
+        seg = network.segment(0)
+        found = matcher.candidates(seg.midpoint.translated(5, 5))
+        distances = [d for _, d in found]
+        assert distances == sorted(distances)
+
+    def test_no_candidates_far_away(self, matcher):
+        assert matcher.candidates(Point(1e6, 1e6)) == []
+
+    def test_candidate_cap(self, network):
+        config = MatcherConfig(max_candidates=2, search_radius_m=2000.0)
+        matcher = MapMatcher(network, config=config)
+        seg = network.segment(0)
+        assert len(matcher.candidates(seg.midpoint)) <= 2
+
+
+class TestMatching:
+    def test_empty_trajectory(self, matcher):
+        raw = RawTrajectory(trajectory_id=1, taxi_id=0, date=0, points=[])
+        matched = matcher.match(raw)
+        assert matched.visits == []
+        assert matched.trajectory_id == 1
+
+    def test_all_points_offroad(self, matcher):
+        raw = RawTrajectory(
+            trajectory_id=1, taxi_id=0, date=0,
+            points=[
+                GPSPoint(1, Point(1e6, 1e6), 0.0, 5.0),
+                GPSPoint(1, Point(1e6, 1e6), 30.0, 5.0),
+            ],
+        )
+        assert matcher.match(raw).visits == []
+
+    def test_straight_route_recovered(self, network, matcher):
+        route = [0]
+        while len(route) < 4:
+            succs = network.successors(route[-1])
+            route.append(succs[0])
+        raw = straight_drive(network, route)
+        matched = matcher.match(raw)
+        # Every true segment (or its twin) should appear, in order.
+        matched_roads = [
+            network.segment(v.segment_id).canonical_id() for v in matched.visits
+        ]
+        expected_roads = [network.segment(s).canonical_id() for s in route]
+        assert [r for r in matched_roads if r in expected_roads]
+        missing = set(expected_roads) - set(matched_roads)
+        assert not missing
+
+    def test_match_is_monotone(self, network, matcher):
+        route = [0] + network.successors(0)[:1]
+        raw = straight_drive(network, route)
+        matcher.match(raw).check_monotone()
+
+    def test_ground_truth_recovery_rate(self, network):
+        """Match generator GPS against the ground-truth route."""
+        config = FleetConfig(
+            num_taxis=2, num_days=1,
+            day_start_s=9 * 3600.0, day_end_s=9.8 * 3600.0,
+        )
+        generator = TaxiFleetGenerator(network, config=config)
+        matcher = MapMatcher(network)
+        total, recovered = 0, 0
+        for raw, truth in generator.generate_raw():
+            matched_roads = {
+                network.segment(v.segment_id).canonical_id()
+                for v in matcher.match(raw).visits
+            }
+            truth_roads = {
+                network.segment(v.segment_id).canonical_id()
+                for v in truth.visits
+            }
+            total += len(truth_roads)
+            recovered += len(truth_roads & matched_roads)
+        assert total > 0
+        assert recovered / total > 0.8  # >80% of roads recovered
+
+
+class TestPipeline:
+    def test_pipeline_end_to_end(self, network):
+        config = FleetConfig(
+            num_taxis=2, num_days=2,
+            day_start_s=9 * 3600.0, day_end_s=9.5 * 3600.0,
+        )
+        generator = TaxiFleetGenerator(network, config=config)
+        raws = [raw for raw, _ in generator.generate_raw()]
+        pipeline = PreprocessingPipeline(network, granularity_m=300.0)
+        db = pipeline.run(raws, num_taxis=2, num_days=2)
+        assert pipeline.report.segments_after > pipeline.report.segments_before
+        assert pipeline.report.trajectories_in == 4
+        assert len(db) == pipeline.report.trajectories_matched
+        assert pipeline.report.visits_out > 0
+        # The matched DB must be on the re-segmented network's id space.
+        for trajectory in db:
+            for visit in trajectory.visits:
+                assert pipeline.network.has_segment(visit.segment_id)
+
+    def test_pipeline_drops_unmatchable(self, network):
+        pipeline = PreprocessingPipeline(network, granularity_m=300.0)
+        bad = RawTrajectory(
+            trajectory_id=0, taxi_id=0, date=0,
+            points=[GPSPoint(0, Point(1e7, 1e7), 0.0, 1.0)],
+        )
+        db = pipeline.run([bad], num_taxis=1, num_days=1)
+        assert len(db) == 0
+        assert pipeline.report.dropped_empty == 1

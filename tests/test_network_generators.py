@@ -1,0 +1,145 @@
+"""Tests for the synthetic road-network generators and re-segmentation."""
+
+import pytest
+
+from repro.network.generator import grid_city, random_planar_city, ring_radial_city
+from repro.network.model import RoadLevel
+from repro.network.segmentation import resegment
+from repro.spatial.geometry import Point
+
+
+class TestGridCity:
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            grid_city(rows=1, cols=5)
+
+    def test_node_and_segment_counts(self):
+        net = grid_city(rows=4, cols=5, spacing=100.0, primary_every=0)
+        assert net.num_nodes == 20
+        # 4*4 horizontal + 3*5 vertical roads, two directed segments each.
+        assert net.num_segments == 2 * (4 * 4 + 3 * 5)
+
+    def test_center_origin(self):
+        net = grid_city(rows=5, cols=5, spacing=100.0)
+        assert net.bounds().center.distance_to(Point(0, 0)) < 1e-9
+
+    def test_primary_rows(self):
+        net = grid_city(rows=5, cols=5, spacing=100.0, primary_every=2)
+        levels = {seg.level for seg in net.segments()}
+        assert levels == {RoadLevel.PRIMARY, RoadLevel.SECONDARY}
+
+    def test_no_primary_when_disabled(self):
+        net = grid_city(rows=3, cols=3, primary_every=0)
+        assert all(s.level == RoadLevel.SECONDARY for s in net.segments())
+
+    def test_jitter_deterministic(self):
+        a = grid_city(rows=3, cols=3, jitter=30.0, seed=5)
+        b = grid_city(rows=3, cols=3, jitter=30.0, seed=5)
+        assert [p for _, p in a.nodes()] == [p for _, p in b.nodes()]
+
+    def test_invariants(self):
+        grid_city(rows=6, cols=4, spacing=250.0).check_invariants()
+
+
+class TestRingRadialCity:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ring_radial_city(rings=0)
+        with pytest.raises(ValueError):
+            ring_radial_city(spokes=2)
+
+    def test_structure(self):
+        net = ring_radial_city(rings=3, spokes=6, ring_spacing=500.0)
+        assert net.num_nodes == 1 + 3 * 6
+        net.check_invariants()
+
+    def test_rings_are_primary(self):
+        net = ring_radial_city(rings=2, spokes=4)
+        # The outermost nodes sit on a primary ring.
+        primaries = [s for s in net.segments() if s.level == RoadLevel.PRIMARY]
+        assert primaries
+
+    def test_connected_from_center(self):
+        from repro.network.paths import dijkstra_from_segment
+
+        net = ring_radial_city(rings=3, spokes=6)
+        start = next(iter(net.segment_ids()))
+        reached = dijkstra_from_segment(net, start)
+        assert len(reached) == net.num_segments
+
+
+class TestRandomPlanarCity:
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            random_planar_city(num_nodes=3)
+
+    def test_deterministic(self):
+        a = random_planar_city(num_nodes=30, seed=9)
+        b = random_planar_city(num_nodes=30, seed=9)
+        assert a.num_segments == b.num_segments
+
+    def test_has_both_levels(self):
+        net = random_planar_city(num_nodes=60, seed=2, primary_fraction=0.2)
+        levels = {s.level for s in net.segments()}
+        assert levels == {RoadLevel.PRIMARY, RoadLevel.SECONDARY}
+
+    def test_invariants(self):
+        random_planar_city(num_nodes=40, seed=4).check_invariants()
+
+
+class TestResegmentation:
+    def test_bad_granularity(self, tiny_network):
+        with pytest.raises(ValueError):
+            resegment(tiny_network, granularity=0)
+
+    def test_no_split_when_short_enough(self, tiny_network):
+        result = resegment(tiny_network, granularity=500.0)
+        assert result.network.num_segments == tiny_network.num_segments
+
+    def test_split_counts(self, tiny_network):
+        # 500 m roads at 200 m granularity -> ceil(500/200) = 3 pieces each.
+        result = resegment(tiny_network, granularity=200.0)
+        assert result.network.num_segments == tiny_network.num_segments * 3
+        for old_id, pieces in result.piece_map.items():
+            assert len(pieces) == 3
+            for piece in pieces:
+                assert result.origin_map[piece] == old_id
+
+    def test_total_length_preserved(self, tiny_network):
+        result = resegment(tiny_network, granularity=180.0)
+        assert result.network.total_length() == pytest.approx(
+            tiny_network.total_length(), rel=1e-6
+        )
+
+    def test_pieces_never_exceed_granularity(self, tiny_network):
+        granularity = 170.0
+        result = resegment(tiny_network, granularity=granularity)
+        for seg in result.network.segments():
+            assert seg.length <= granularity + 1e-6
+
+    def test_twin_pairing_preserved(self, tiny_network):
+        result = resegment(tiny_network, granularity=200.0)
+        net = result.network
+        for seg in net.segments():
+            assert seg.twin_id is not None
+            twin = net.segment(seg.twin_id)
+            assert twin.twin_id == seg.segment_id
+            assert twin.start_node == seg.end_node
+            assert twin.end_node == seg.start_node
+            assert twin.length == pytest.approx(seg.length)
+
+    def test_chain_connectivity(self, tiny_network):
+        result = resegment(tiny_network, granularity=200.0)
+        net = result.network
+        for old_id, pieces in result.piece_map.items():
+            for a, b in zip(pieces, pieces[1:]):
+                assert net.segment(a).end_node == net.segment(b).start_node
+
+    def test_levels_inherited(self):
+        net = grid_city(rows=3, cols=3, spacing=900.0, primary_every=2)
+        result = resegment(net, granularity=300.0)
+        for piece, origin in result.origin_map.items():
+            assert result.network.segment(piece).level == net.segment(origin).level
+
+    def test_invariants(self, tiny_network):
+        resegment(tiny_network, granularity=120.0).network.check_invariants()

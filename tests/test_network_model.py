@@ -1,0 +1,138 @@
+"""Tests for the road-network graph model."""
+
+import pytest
+
+from repro.network.model import RoadLevel, RoadNetwork, RoadSegment
+from repro.spatial.geometry import Point
+
+
+def simple_pair() -> RoadNetwork:
+    """Two nodes joined by a two-way road (segments 0 and 1)."""
+    net = RoadNetwork()
+    net.add_node(0, Point(0, 0))
+    net.add_node(1, Point(100, 0))
+    net.add_segment(RoadSegment(0, 0, 1, (Point(0, 0), Point(100, 0)), twin_id=1))
+    net.add_segment(RoadSegment(1, 1, 0, (Point(100, 0), Point(0, 0)), twin_id=0))
+    return net
+
+
+class TestSegment:
+    def test_needs_two_shape_points(self):
+        with pytest.raises(ValueError):
+            RoadSegment(0, 0, 1, (Point(0, 0),))
+
+    def test_length_and_midpoint(self):
+        seg = RoadSegment(0, 0, 1, (Point(0, 0), Point(30, 40)))
+        assert seg.length == pytest.approx(50.0)
+        assert seg.midpoint == Point(15, 20)
+
+    def test_bbox(self):
+        seg = RoadSegment(0, 0, 1, (Point(0, 10), Point(5, -5)))
+        box = seg.bbox
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, -5, 5, 10)
+
+    def test_one_way_flag(self):
+        assert RoadSegment(0, 0, 1, (Point(0, 0), Point(1, 0))).one_way
+        assert not RoadSegment(0, 0, 1, (Point(0, 0), Point(1, 0)), twin_id=9).one_way
+
+    def test_canonical_id(self):
+        assert RoadSegment(5, 0, 1, (Point(0, 0), Point(1, 0))).canonical_id() == 5
+        assert RoadSegment(5, 0, 1, (Point(0, 0), Point(1, 0)), twin_id=3).canonical_id() == 3
+
+    def test_distance_to_point(self):
+        seg = RoadSegment(0, 0, 1, (Point(0, 0), Point(10, 0)))
+        assert seg.distance_to_point(Point(5, 3)) == pytest.approx(3.0)
+
+
+class TestNetworkConstruction:
+    def test_duplicate_node_rejected(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        with pytest.raises(ValueError):
+            net.add_node(0, Point(1, 1))
+
+    def test_duplicate_segment_rejected(self):
+        net = simple_pair()
+        with pytest.raises(ValueError):
+            net.add_segment(
+                RoadSegment(0, 0, 1, (Point(0, 0), Point(100, 0)))
+            )
+
+    def test_unknown_node_rejected(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        with pytest.raises(ValueError):
+            net.add_segment(RoadSegment(0, 0, 99, (Point(0, 0), Point(1, 0))))
+
+    def test_next_ids(self):
+        net = simple_pair()
+        assert net.next_node_id() == 2
+        assert net.next_segment_id() == 2
+
+    def test_counts_and_bounds(self):
+        net = simple_pair()
+        assert net.num_nodes == 2
+        assert net.num_segments == 2
+        bounds = net.bounds()
+        assert bounds.width == 100
+
+
+class TestTopology:
+    def test_two_way_pair_has_no_uturn(self):
+        net = simple_pair()
+        # Segment 0 ends at node 1; its only out-segment there is its twin.
+        assert net.successors(0) == []
+        assert net.predecessors(0) == []
+
+    def test_neighbors_include_twin(self):
+        net = simple_pair()
+        assert net.neighbors(0) == [1]
+
+    def test_chain_successors(self, tiny_network):
+        for sid in tiny_network.segment_ids():
+            for succ in tiny_network.successors(sid):
+                seg = tiny_network.segment(sid)
+                nxt = tiny_network.segment(succ)
+                assert nxt.start_node == seg.end_node
+                assert succ != seg.twin_id
+
+    def test_successor_predecessor_duality(self, tiny_network):
+        for sid in tiny_network.segment_ids():
+            for succ in tiny_network.successors(sid):
+                assert sid in tiny_network.predecessors(succ)
+
+    def test_neighbors_symmetric(self, tiny_network):
+        for sid in tiny_network.segment_ids():
+            for nb in tiny_network.neighbors(sid):
+                assert sid in tiny_network.neighbors(nb)
+
+    def test_invariants_pass(self, tiny_network):
+        tiny_network.check_invariants()
+
+
+class TestMetrics:
+    def test_total_length_dedups_twins(self):
+        net = simple_pair()
+        assert net.total_length() == pytest.approx(100.0)
+        assert net.total_length(deduplicate_twins=False) == pytest.approx(200.0)
+
+    def test_nearest_segment_linear(self, tiny_network):
+        probe = Point(10, 10)
+        nearest = tiny_network.nearest_segment_linear(probe)
+        best = min(
+            tiny_network.segments(),
+            key=lambda s: s.distance_to_point(probe),
+        )
+        assert tiny_network.segment(nearest).distance_to_point(probe) == pytest.approx(
+            best.distance_to_point(probe)
+        )
+
+    def test_nearest_segment_empty_network(self):
+        with pytest.raises(ValueError):
+            RoadNetwork().nearest_segment_linear(Point(0, 0))
+
+    def test_euclidean_distance(self, tiny_network):
+        sids = sorted(tiny_network.segment_ids())[:2]
+        d = tiny_network.euclidean_distance(sids[0], sids[1])
+        assert d >= 0
+        assert tiny_network.euclidean_distance(sids[0], sids[0]) == 0.0

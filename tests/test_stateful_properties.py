@@ -1,0 +1,149 @@
+"""Stateful property-based tests (hypothesis RuleBasedStateMachine).
+
+The spatial index structures back every query the system answers, so they
+get the strongest testing: stateful machines that interleave operations
+and continuously compare against a trivially correct model.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.spatial.btree import BPlusTree
+from repro.spatial.geometry import BBox, Point
+from repro.spatial.rtree import RTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pagestore import BufferPool, PageStore
+
+keys = st.integers(0, 500)
+values = st.integers(-1000, 1000)
+coords = st.floats(0, 1000, allow_nan=False, allow_infinity=False)
+
+
+class BPlusTreeMachine(RuleBasedStateMachine):
+    """B+-tree vs dict, with range and floor cross-checks."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=4)
+        self.model: dict[int, int] = {}
+
+    @rule(key=keys, value=values)
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def lookup(self, key):
+        assert self.tree.get(key) == self.model.get(key)
+
+    @rule(low=keys, high=keys)
+    def range_query(self, low, high):
+        got = [(k, v) for k, v in self.tree.range(low, high)]
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if low <= k <= high
+        )
+        assert got == expected
+
+    @rule(probe=keys)
+    def floor_query(self, probe):
+        eligible = [k for k in self.model if k <= probe]
+        found = self.tree.floor(probe)
+        if eligible:
+            best = max(eligible)
+            assert found == (best, self.model[best])
+        else:
+            assert found is None
+
+    @invariant()
+    def structurally_sound(self):
+        self.tree.check_invariants()
+        assert len(self.tree) == len(self.model)
+
+
+class RTreeMachine(RuleBasedStateMachine):
+    """R-tree vs list, with window query cross-checks."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = RTree(max_entries=4)
+        self.model: list[tuple[BBox, int]] = []
+        self.counter = 0
+
+    @rule(x=coords, y=coords, w=st.floats(0.1, 50), h=st.floats(0.1, 50))
+    def insert(self, x, y, w, h):
+        box = BBox(x, y, x + w, y + h)
+        self.tree.insert(box, self.counter)
+        self.model.append((box, self.counter))
+        self.counter += 1
+
+    @rule(x=coords, y=coords, w=st.floats(1, 400), h=st.floats(1, 400))
+    def window_query(self, x, y, w, h):
+        window = BBox(x, y, x + w, y + h)
+        expected = sorted(i for box, i in self.model if box.intersects(window))
+        assert sorted(self.tree.search(window)) == expected
+
+    @rule(x=coords, y=coords)
+    def nearest_query(self, x, y):
+        if not self.model:
+            return
+        probe = Point(x, y)
+        got = self.tree.nearest(probe, k=1)[0]
+        best = min(self.model, key=lambda p: p[0].distance_to_point(probe))
+        got_box = next(box for box, i in self.model if i == got)
+        assert got_box.distance_to_point(probe) == pytest.approx(
+            best[0].distance_to_point(probe)
+        )
+
+    @invariant()
+    def structurally_sound(self):
+        if self.model:
+            self.tree.check_invariants()
+        assert len(self.tree) == len(self.model)
+
+
+class PageStoreMachine(RuleBasedStateMachine):
+    """Append/read records through a small pool; payloads never corrupt."""
+
+    def __init__(self):
+        super().__init__()
+        self.disk = SimulatedDisk(page_size=32)
+        self.store = PageStore(self.disk)
+        self.pool = BufferPool(self.disk, capacity=4)
+        self.records: list[tuple[object, bytes]] = []
+
+    @rule(payload=st.binary(min_size=0, max_size=120))
+    def append(self, payload):
+        pointer = self.store.append(payload)
+        self.records.append((pointer, payload))
+
+    @rule(data=st.data())
+    def read_back(self, data):
+        if not self.records:
+            return
+        index = data.draw(st.integers(0, len(self.records) - 1))
+        pointer, payload = self.records[index]
+        assert self.store.read(pointer, pool=self.pool) == payload
+
+    @rule(data=st.data())
+    def read_back_without_pool(self, data):
+        if not self.records:
+            return
+        index = data.draw(st.integers(0, len(self.records) - 1))
+        pointer, payload = self.records[index]
+        assert self.store.read(pointer) == payload
+
+
+TestBPlusTreeStateful = BPlusTreeMachine.TestCase
+TestBPlusTreeStateful.settings = settings(
+    max_examples=15, stateful_step_count=40, deadline=None
+)
+TestRTreeStateful = RTreeMachine.TestCase
+TestRTreeStateful.settings = settings(
+    max_examples=10, stateful_step_count=30, deadline=None
+)
+TestPageStoreStateful = PageStoreMachine.TestCase
+TestPageStoreStateful.settings = settings(
+    max_examples=15, stateful_step_count=40, deadline=None
+)

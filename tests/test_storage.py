@@ -1,0 +1,222 @@
+"""Tests for the simulated disk, page store, buffer pool and codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.disk import DiskError, DiskStats, SimulatedDisk
+from repro.storage.pagestore import BufferPool, PageStore
+from repro.storage.serialization import (
+    SerializationError,
+    decode_float_list,
+    decode_int_list,
+    decode_str,
+    encode_float_list,
+    encode_int_list,
+    encode_str,
+)
+
+
+class TestSimulatedDisk:
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            SimulatedDisk(page_size=0)
+
+    def test_allocate_does_not_charge(self):
+        disk = SimulatedDisk()
+        disk.allocate()
+        assert disk.stats.page_reads == 0
+        assert disk.stats.page_writes == 0
+
+    def test_write_read_roundtrip(self):
+        disk = SimulatedDisk(page_size=64)
+        page = disk.allocate()
+        disk.write_page(page, b"hello")
+        assert disk.read_page(page) == b"hello"
+        assert disk.stats.page_writes == 1
+        assert disk.stats.page_reads == 1
+        assert disk.stats.bytes_written == 5
+        assert disk.stats.bytes_read == 5
+
+    def test_oversized_payload_rejected(self):
+        disk = SimulatedDisk(page_size=8)
+        page = disk.allocate()
+        with pytest.raises(DiskError):
+            disk.write_page(page, b"x" * 9)
+
+    def test_bad_page_id(self):
+        disk = SimulatedDisk()
+        with pytest.raises(DiskError):
+            disk.read_page(0)
+
+    def test_simulated_io_accounting(self):
+        disk = SimulatedDisk(read_latency_ms=5.0, write_latency_ms=7.0)
+        page = disk.allocate()
+        disk.write_page(page, b"a")
+        disk.read_page(page)
+        disk.read_page(page)
+        assert disk.simulated_io_ms() == pytest.approx(2 * 5.0 + 7.0)
+
+    def test_snapshot_diff(self):
+        disk = SimulatedDisk()
+        page = disk.allocate()
+        disk.write_page(page, b"a")
+        before = disk.snapshot()
+        disk.read_page(page)
+        diff = disk.snapshot() - before
+        assert diff.page_reads == 1
+        assert diff.page_writes == 0
+
+    def test_reset(self):
+        disk = SimulatedDisk()
+        page = disk.allocate()
+        disk.write_page(page, b"a")
+        disk.reset_stats()
+        assert disk.stats == DiskStats()
+
+
+class TestPageStore:
+    def test_small_record_roundtrip(self):
+        store = PageStore(SimulatedDisk(page_size=32))
+        ptr = store.append(b"hello world")
+        assert store.read(ptr) == b"hello world"
+
+    def test_record_spanning_pages(self):
+        store = PageStore(SimulatedDisk(page_size=16))
+        payload = bytes(range(100))
+        ptr = store.append(payload)
+        assert len(ptr.page_ids) >= 6
+        assert store.read(ptr) == payload
+
+    def test_many_records_roundtrip(self):
+        store = PageStore(SimulatedDisk(page_size=64))
+        pointers = [
+            store.append(bytes([i]) * (i % 150 + 1)) for i in range(100)
+        ]
+        for i, ptr in enumerate(pointers):
+            assert store.read(ptr) == bytes([i]) * (i % 150 + 1)
+
+    def test_read_charges_page_chain(self):
+        disk = SimulatedDisk(page_size=16)
+        store = PageStore(disk)
+        ptr = store.append(b"z" * 50)  # spans 4 pages
+        before = disk.snapshot()
+        store.read(ptr)
+        assert (disk.snapshot() - before).page_reads == len(ptr.page_ids)
+
+    def test_empty_record(self):
+        store = PageStore(SimulatedDisk(page_size=16))
+        ptr = store.append(b"")
+        assert store.read(ptr) == b""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.binary(min_size=0, max_size=300), min_size=1, max_size=40),
+           st.integers(8, 256))
+    def test_roundtrip_property(self, payloads, page_size):
+        store = PageStore(SimulatedDisk(page_size=page_size))
+        pointers = [store.append(p) for p in payloads]
+        for payload, ptr in zip(payloads, pointers):
+            assert store.read(ptr) == payload
+
+
+class TestBufferPool:
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(SimulatedDisk(), capacity=-1)
+
+    def test_cache_hit_avoids_disk(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=4)
+        page = disk.allocate()
+        disk.write_page(page, b"data")
+        pool.get_page(page)
+        reads_after_first = disk.stats.page_reads
+        pool.get_page(page)
+        assert disk.stats.page_reads == reads_after_first
+        assert pool.hits == 1 and pool.misses == 1
+        assert pool.hit_rate == pytest.approx(0.5)
+
+    def test_zero_capacity_never_caches(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=0)
+        page = disk.allocate()
+        disk.write_page(page, b"x")
+        pool.get_page(page)
+        pool.get_page(page)
+        assert disk.stats.page_reads == 2
+
+    def test_lru_eviction(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=2)
+        pages = [disk.allocate() for _ in range(3)]
+        for p in pages:
+            disk.write_page(p, b"p")
+        pool.get_page(pages[0])
+        pool.get_page(pages[1])
+        pool.get_page(pages[2])  # evicts pages[0]
+        before = disk.stats.page_reads
+        pool.get_page(pages[0])
+        assert disk.stats.page_reads == before + 1
+
+    def test_invalidate_single_and_all(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=4)
+        page = disk.allocate()
+        disk.write_page(page, b"x")
+        pool.get_page(page)
+        pool.invalidate(page)
+        pool.get_page(page)
+        assert pool.misses == 2
+        pool.invalidate()
+        pool.get_page(page)
+        assert pool.misses == 3
+
+    def test_pagestore_read_through_pool(self):
+        disk = SimulatedDisk(page_size=16)
+        store = PageStore(disk)
+        ptr = store.append(b"q" * 40)
+        pool = BufferPool(disk, capacity=8)
+        store.read(ptr, pool=pool)
+        reads = disk.stats.page_reads
+        assert store.read(ptr, pool=pool) == b"q" * 40
+        assert disk.stats.page_reads == reads  # fully cached
+
+
+class TestSerialization:
+    def test_int_list_roundtrip(self):
+        values = [0, 1, 127, 128, 300, 2**40]
+        assert decode_int_list(encode_int_list(values)) == values
+
+    def test_int_list_empty(self):
+        assert decode_int_list(encode_int_list([])) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_int_list([-1])
+
+    def test_truncated_payload(self):
+        payload = encode_int_list([1, 2, 3])
+        with pytest.raises(SerializationError):
+            decode_int_list(payload[:-1])
+
+    def test_str_roundtrip(self):
+        assert decode_str(encode_str("héllo wörld")) == "héllo wörld"
+
+    def test_str_truncated(self):
+        with pytest.raises(SerializationError):
+            decode_str(b"\x05\x00\x00\x00ab")
+
+    def test_float_list_roundtrip(self):
+        values = [0.0, -1.5, 3.14159, 1e300]
+        assert decode_float_list(encode_float_list(values)) == values
+
+    def test_float_list_truncated(self):
+        with pytest.raises(SerializationError):
+            decode_float_list(encode_float_list([1.0])[:-3])
+
+    @given(st.lists(st.integers(0, 2**62), max_size=200))
+    def test_int_list_property(self, values):
+        assert decode_int_list(encode_int_list(values)) == values
+
+    @given(st.text(max_size=200))
+    def test_str_property(self, text):
+        assert decode_str(encode_str(text)) == text
