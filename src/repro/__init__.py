@@ -6,29 +6,61 @@ Con-Index, and the SQMB / TBS / MQMB query-processing algorithms, plus every
 substrate they depend on (spatial indexes, road networks, a taxi-trajectory
 generator, map matching, and a simulated disk with I/O accounting).
 
+Module map (see ``docs/architecture.md`` for the routing diagram):
+
+* ``repro.core`` — planner -> executor-registry -> storage query stack:
+  :class:`QueryService` (batching, bounding-region dedup),
+  :class:`ReachabilityEngine` (index ownership + classic facade),
+  ``planner`` / ``executors`` (routing and pluggable algorithms),
+  ``st_index`` / ``con_index`` / ``probability`` / ``sqmb`` / ``tbs`` /
+  ``mqmb`` / ``baseline`` / ``reverse`` (the paper's machinery),
+  ``explain`` (plan + cost rendering).
+* ``repro.storage`` — simulated disk, page store, LRU buffer pools with
+  hit/miss/eviction accounting.
+* ``repro.spatial`` — R-tree, B+-tree, grid, hulls, geometry.
+* ``repro.network`` — road-network model, generators, re-segmentation,
+  time-bounded expansion.
+* ``repro.trajectory`` — fleet generator, map matching, speed profiles,
+  the compact trajectory database.
+* ``repro.datasets`` / ``repro.preprocessing`` / ``repro.io`` — the
+  ShenzhenLike synthetic dataset, cleaning pipeline, persistence.
+* ``repro.eval`` — Chapter-4 sweeps, workloads, table formatting.
+* ``repro.apps`` — coverage, POI recommendation, isochrones, ETA demos.
+* ``repro.viz`` / ``repro.cli`` — ASCII maps, GeoJSON, the command line.
+
 Quickstart::
 
     from repro import (
-        ReachabilityEngine, SQuery, build_shenzhen_like, day_time, Point,
+        QueryService, ReachabilityEngine, SQuery, build_shenzhen_like,
+        day_time, Point,
     )
 
     dataset = build_shenzhen_like()
-    engine = ReachabilityEngine(dataset.network, dataset.database)
+    service = QueryService(
+        ReachabilityEngine(dataset.network, dataset.database)
+    )
     query = SQuery(
         location=Point(0.0, 0.0),
         start_time_s=day_time(11),
         duration_s=10 * 60,
         prob=0.2,
     )
-    result = engine.s_query(query)
+    result = service.query(query)
     print(len(result.segments), "reachable segments")
+
+    report = service.run_batch([query, SQuery(Point(0, 0), day_time(11),
+                                              10 * 60, 0.8)])
+    print(report.page_reads, "page reads for the whole batch")
 """
 
 from repro.core import (
+    BatchReport,
     ConnectionIndex,
     MQuery,
     ProbabilityEstimator,
+    QueryPlan,
     QueryResult,
+    QueryService,
     ReachabilityEngine,
     SQuery,
     STIndex,
@@ -53,6 +85,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ReachabilityEngine",
+    "QueryService",
+    "QueryPlan",
+    "BatchReport",
     "SQuery",
     "MQuery",
     "QueryResult",

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import ReachabilityEngine
 from repro.core.query import MQuery
+from repro.core.service import QueryService, as_service
 from repro.spatial.geometry import Point
 
 
@@ -53,11 +54,11 @@ class CoverageReport:
     branches: list[BranchCoverage] = field(default_factory=list)
 
 
-def _road_km(engine: ReachabilityEngine, segments: set[int]) -> float:
+def _road_km(network, segments: set[int]) -> float:
     seen: set[int] = set()
     total = 0.0
     for segment_id in segments:
-        segment = engine.network.segment(segment_id)
+        segment = network.segment(segment_id)
         canonical = segment.canonical_id()
         if canonical in seen:
             continue
@@ -67,7 +68,7 @@ def _road_km(engine: ReachabilityEngine, segments: set[int]) -> float:
 
 
 def analyze_coverage(
-    engine: ReachabilityEngine,
+    engine: ReachabilityEngine | QueryService,
     branches: list[Point],
     start_time_s: float,
     duration_s: float,
@@ -76,12 +77,13 @@ def analyze_coverage(
 ) -> CoverageReport:
     """Compute chain-wide coverage and per-branch marginal contributions.
 
-    Runs one MQMB m-query for the union, plus one per-branch s-query for
-    attribution (the s-queries reuse warm indexes, so the whole analysis
-    costs little more than the m-query itself).
+    Runs the union m-query and the per-branch attribution s-queries as one
+    service batch: the s-queries share warm buffer pools and deduplicated
+    bounding regions with each other, so the whole analysis costs little
+    more than the m-query itself.
 
     Args:
-        engine: a built reachability engine.
+        engine: a built reachability engine or a query service over one.
         branches: branch locations.
         start_time_s / duration_s / prob: query parameters (e.g. "reachable
             within 15 minutes on 20% of days at 10:00").
@@ -89,20 +91,21 @@ def analyze_coverage(
     """
     if not branches:
         raise ValueError("coverage analysis needs at least one branch")
+    service = as_service(engine)
+    network = service.engine.network
     union_query = MQuery(
         locations=tuple(branches),
         start_time_s=start_time_s,
         duration_s=duration_s,
         prob=prob,
     )
-    combined = engine.m_query(union_query, delta_t_s=delta_t_s)
-    per_branch = [
-        engine.s_query(sub, delta_t_s=delta_t_s, warm=True)
-        for sub in union_query.as_s_queries()
-    ]
+    batch = service.run_batch(
+        [union_query, *union_query.as_s_queries()], delta_t_s=delta_t_s
+    )
+    combined, per_branch = batch.results[0], batch.results[1:]
     report = CoverageReport(segments=set(combined.segments))
-    report.road_km = _road_km(engine, report.segments)
-    total_km = engine.network.total_length() / 1000.0
+    report.road_km = _road_km(network, report.segments)
+    total_km = network.total_length() / 1000.0
     report.coverage_fraction = report.road_km / total_km if total_km else 0.0
     for index, (location, result) in enumerate(zip(branches, per_branch)):
         others: set[int] = set()
@@ -115,7 +118,7 @@ def analyze_coverage(
                 location=location,
                 own_segments=len(result.segments),
                 exclusive_segments=len(exclusive),
-                marginal_road_km=_road_km(engine, exclusive),
+                marginal_road_km=_road_km(network, exclusive),
             )
         )
     return report

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.engine import ReachabilityEngine
+from repro.core.service import QueryService, as_service
 from repro.spatial.geometry import Point
 
 
@@ -75,7 +76,7 @@ class ArrivalProfile:
 
 
 def arrival_profile(
-    engine: ReachabilityEngine,
+    engine: ReachabilityEngine | QueryService,
     origin: Point,
     target: Point,
     start_time_s: float,
@@ -95,6 +96,7 @@ def arrival_profile(
         horizon_s: give up after this long.
         delta_t_s: index granularity (also the estimate resolution).
     """
+    engine = as_service(engine).engine
     st = engine.st_index(delta_t_s)
     network = engine.network
     origin_segment = st.find_start_segment(origin)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import ReachabilityEngine
 from repro.core.query import SQuery
+from repro.core.service import QueryService, as_service
 from repro.core.sqmb import sqmb_bounding_region
 from repro.spatial.geometry import Point
 
@@ -36,7 +37,7 @@ class IsochroneBand:
 
 
 def isochrones(
-    engine: ReachabilityEngine,
+    engine: ReachabilityEngine | QueryService,
     location: Point,
     start_time_s: float,
     durations_s: list[int],
@@ -65,6 +66,7 @@ def isochrones(
         return []
     ordered = sorted(durations_s)
     horizon = ordered[-1]
+    engine = as_service(engine).engine
     st = engine.st_index(delta_t_s)
     con = engine.con_index(delta_t_s)
     network = engine.network

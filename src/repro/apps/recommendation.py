@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.engine import ReachabilityEngine
+from repro.core.service import QueryService, as_service
 from repro.core.query import SQuery
 from repro.spatial.geometry import Point
 
@@ -48,7 +49,7 @@ class RankedPOI:
 
 
 def recommend_pois(
-    engine: ReachabilityEngine,
+    engine: ReachabilityEngine | QueryService,
     user_location: Point,
     start_time_s: float,
     deadline_s: float,
@@ -80,9 +81,10 @@ def recommend_pois(
         duration_s=deadline_s,
         prob=prob,
     )
-    result = engine.s_query(query, delta_t_s=delta_t_s)
-    st = engine.st_index(delta_t_s)
-    network = engine.network
+    service = as_service(engine)
+    result = service.s_query(query, delta_t_s=delta_t_s)
+    st = service.engine.st_index(delta_t_s)
+    network = service.engine.network
     region_roads = {
         network.segment(s).canonical_id() for s in result.segments
     }

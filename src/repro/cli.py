@@ -8,10 +8,16 @@ Subcommands::
                             --duration 10 --prob 0.2 [--algorithm sqmb_tbs]
     python -m repro mquery  --dataset DIR --location 0,0 --location 3000,2000 ...
     python -m repro rquery  --dataset DIR --x 0 --y 0 ...
+    python -m repro batch   --dataset DIR --s-queries 20 --m-queries 5
 
 ``build-dataset`` generates and persists a synthetic ShenzhenLike dataset;
-the query commands load it, build indexes, answer, and print the region as
-an ASCII map plus cost metrics (optionally exporting GeoJSON).
+the query commands load it, build indexes, answer through the
+:class:`~repro.core.service.QueryService`, and print the region as an
+ASCII map plus cost metrics (optionally exporting GeoJSON).  ``batch``
+runs a deterministic random workload through ``run_batch`` and prints the
+batch report, including buffer-pool cache effectiveness.  Algorithm
+choices come straight from the executor registry, so registered
+third-party algorithms are selectable without CLI changes.
 """
 
 from __future__ import annotations
@@ -21,7 +27,9 @@ import sys
 from pathlib import Path
 
 from repro.core.engine import ReachabilityEngine
+from repro.core.executors import execute_plan, executor_names
 from repro.core.query import MQuery, SQuery
+from repro.core.service import QueryService
 from repro.spatial.geometry import Point
 from repro.trajectory.model import day_time
 
@@ -61,13 +69,15 @@ def _add_query_args(parser: argparse.ArgumentParser) -> None:
                         help="write the region to this GeoJSON file")
     parser.add_argument("--no-map", action="store_true",
                         help="skip the ASCII map")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the query plan before executing")
 
 
 class CLIError(Exception):
     """User-facing CLI failure (bad paths, unreadable datasets)."""
 
 
-def _load_engine(dataset_dir: str) -> tuple:
+def _load_service(dataset_dir: str) -> tuple:
     from repro.io.persist import load_dataset
 
     try:
@@ -79,7 +89,7 @@ def _load_engine(dataset_dir: str) -> tuple:
             f"{dataset_dir}"
         ) from exc
     engine = ReachabilityEngine(dataset.network, dataset.database)
-    return dataset, engine
+    return dataset, QueryService(engine)
 
 
 def _print_result(args, dataset, result) -> int:
@@ -128,52 +138,73 @@ def cmd_build_dataset(args) -> int:
 
 
 def cmd_describe(args) -> int:
-    dataset, _ = _load_engine(args.dataset)
+    dataset, _ = _load_service(args.dataset)
     for key, value in dataset.describe():
         print(f"  {key}: {value}")
     return 0
 
 
+def _run_query(args, kind: str, query) -> int:
+    dataset, service = _load_service(args.dataset)
+    plan = service.plan(
+        query, algorithm=args.algorithm, delta_t_s=args.delta_t * 60,
+        kind=kind,
+    )
+    if args.explain:
+        print(plan.describe())
+    result = execute_plan(service.engine, plan, query)
+    return _print_result(args, dataset, result)
+
+
 def cmd_query(args) -> int:
-    dataset, engine = _load_engine(args.dataset)
     query = SQuery(
         location=Point(args.x, args.y),
         start_time_s=args.time,
         duration_s=args.duration * 60.0,
         prob=args.prob,
     )
-    result = engine.s_query(
-        query, algorithm=args.algorithm, delta_t_s=args.delta_t * 60
-    )
-    return _print_result(args, dataset, result)
+    return _run_query(args, "s", query)
 
 
 def cmd_mquery(args) -> int:
-    dataset, engine = _load_engine(args.dataset)
     query = MQuery(
         locations=tuple(args.location),
         start_time_s=args.time,
         duration_s=args.duration * 60.0,
         prob=args.prob,
     )
-    result = engine.m_query(
-        query, algorithm=args.algorithm, delta_t_s=args.delta_t * 60
-    )
-    return _print_result(args, dataset, result)
+    return _run_query(args, "m", query)
 
 
 def cmd_rquery(args) -> int:
-    dataset, engine = _load_engine(args.dataset)
     query = SQuery(
         location=Point(args.x, args.y),
         start_time_s=args.time,
         duration_s=args.duration * 60.0,
         prob=args.prob,
     )
-    result = engine.r_query(
-        query, algorithm=args.algorithm, delta_t_s=args.delta_t * 60
+    return _run_query(args, "r", query)
+
+
+def cmd_batch(args) -> int:
+    from repro.eval.tables import format_batch_report
+    from repro.eval.workload import QueryWorkload
+
+    dataset, service = _load_service(args.dataset)
+    workload = QueryWorkload(dataset.network, seed=args.seed)
+    queries = workload.mixed_batch(
+        args.s_queries,
+        args.m_queries,
+        duration_s=args.duration * 60.0,
+        prob=args.prob,
     )
-    return _print_result(args, dataset, result)
+    report = service.run_batch(
+        queries, delta_t_s=args.delta_t * 60, max_workers=args.workers
+    )
+    print(
+        format_batch_report(f"Batch report — {len(queries)} queries", report)
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -200,8 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--x", type=float, default=0.0)
     query.add_argument("--y", type=float, default=0.0)
     query.add_argument(
-        "--algorithm", choices=("sqmb_tbs", "es", "es_pruned"),
-        default="sqmb_tbs",
+        "--algorithm", choices=executor_names("s"), default="sqmb_tbs",
     )
     query.set_defaults(func=cmd_query)
 
@@ -212,8 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="X,Y (repeatable)",
     )
     mquery.add_argument(
-        "--algorithm", choices=("mqmb_tbs", "sqmb_tbs_each", "es_each"),
-        default="mqmb_tbs",
+        "--algorithm", choices=executor_names("m"), default="mqmb_tbs",
     )
     mquery.set_defaults(func=cmd_mquery)
 
@@ -224,9 +253,27 @@ def build_parser() -> argparse.ArgumentParser:
     rquery.add_argument("--x", type=float, default=0.0)
     rquery.add_argument("--y", type=float, default=0.0)
     rquery.add_argument(
-        "--algorithm", choices=("sqmb_tbs", "es"), default="sqmb_tbs"
+        "--algorithm", choices=executor_names("r"), default="sqmb_tbs"
     )
     rquery.set_defaults(func=cmd_rquery)
+
+    batch = sub.add_parser(
+        "batch", help="run a random workload through the query service"
+    )
+    batch.add_argument("--dataset", required=True, help="dataset directory")
+    batch.add_argument("--s-queries", type=int, default=20,
+                       help="number of s-queries (default 20)")
+    batch.add_argument("--m-queries", type=int, default=5,
+                       help="number of m-queries (default 5)")
+    batch.add_argument("--duration", type=float, default=10.0,
+                       help="s-query duration in minutes (default 10)")
+    batch.add_argument("--prob", type=float, default=0.2)
+    batch.add_argument("--delta-t", type=int, default=5,
+                       help="index granularity Δt in minutes (default 5)")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker threads (default 1)")
+    batch.add_argument("--seed", type=int, default=7)
+    batch.set_defaults(func=cmd_batch)
 
     return parser
 

@@ -1,5 +1,7 @@
 """The paper's primary contribution: indexes and query processing.
 
+Index and algorithm layers:
+
 * :mod:`~repro.core.st_index` — the Spatio-Temporal Index (§3.2.1).
 * :mod:`~repro.core.con_index` — the Connection Index (§3.2.2).
 * :mod:`~repro.core.probability` — Eq. 3.1 reachability probabilities.
@@ -8,7 +10,19 @@
 * :mod:`~repro.core.mqmb` — Algorithm 3 (m-query bounding region).
 * :mod:`~repro.core.baseline` — the exhaustive-search (ES) baseline and the
   naive multi-s-query baseline.
-* :mod:`~repro.core.engine` — the user-facing :class:`ReachabilityEngine`.
+* :mod:`~repro.core.reverse` — reverse-reachability machinery.
+
+Query-service layers (planner -> executors -> storage):
+
+* :mod:`~repro.core.planner` — routes a query to an inspectable
+  :class:`QueryPlan` (algorithm, bounding strategy, Δt slots).
+* :mod:`~repro.core.executors` — the executor registry; one module per
+  algorithm family, extensible via ``@register_executor``.
+* :mod:`~repro.core.engine` — index-owning :class:`ReachabilityEngine`
+  with the classic one-query facade.
+* :mod:`~repro.core.service` — batch-capable :class:`QueryService`
+  (bounding-region dedup, warm pools, worker pool).
+* :mod:`~repro.core.explain` — ``EXPLAIN``-style plan + cost rendering.
 """
 
 from repro.core.query import (
@@ -33,9 +47,30 @@ from repro.core.reverse import (
     ReverseProbabilityEstimator,
     reverse_bounding_region,
 )
+from repro.core.executors import (
+    ExecutionContext,
+    ExecutionOutcome,
+    execute_plan,
+    executor_names,
+    get_executor,
+    register_executor,
+)
+from repro.core.planner import QueryPlan, plan_query
 from repro.core.engine import ReachabilityEngine
+from repro.core.service import BatchReport, QueryService, as_service
 
 __all__ = [
+    "QueryPlan",
+    "plan_query",
+    "ExecutionContext",
+    "ExecutionOutcome",
+    "execute_plan",
+    "executor_names",
+    "get_executor",
+    "register_executor",
+    "QueryService",
+    "BatchReport",
+    "as_service",
     "SQuery",
     "MQuery",
     "QueryResult",

@@ -164,12 +164,14 @@ class ConnectionIndex:
 
     # -- speed models ----------------------------------------------------------
 
-    def _travel_time(self, kind: Kind, slot: int):
+    def travel_time(self, kind: Kind, slot: int):
         """Per-segment traversal seconds under the slot's min/max speeds.
 
         Segments with no historical observations in (or near) the slot's
         hour are impassable: a data-driven index cannot vouch for roads no
-        trajectory ever used.
+        trajectory ever used.  This is the speed model entry construction
+        expands with; :mod:`~repro.core.sqmb` also consults it directly
+        for the residual-carry supplement of the Far bound.
         """
         mid_time = self._slot_mid_time(slot)
         bounds_of = self.database.observed_speed_bounds
@@ -222,7 +224,7 @@ class ConnectionIndex:
             self.network,
             segment_id,
             float(self.delta_t_s),
-            self._travel_time(kind, slot),
+            self.travel_time(kind, slot),
             reverse=kind.endswith("_rev"),
         )
         return FrontierEntry(

@@ -1,14 +1,14 @@
-"""The user-facing reachability query engine.
+"""Index ownership and the classic single-query facade.
 
 :class:`ReachabilityEngine` owns the road network, the trajectory database,
-one simulated disk, and per-Δt ST-Index / Con-Index pairs.  It exposes the
-paper's two query types with pluggable algorithms:
-
-* ``s_query`` — ``"sqmb_tbs"`` (the paper's method, Algorithms 1+2) or
-  ``"es"`` (the exhaustive-search baseline);
-* ``m_query`` — ``"mqmb_tbs"`` (Algorithm 3 + trace-back),
-  ``"sqmb_tbs_each"`` (the paper's m-query baseline: one SQMB+TBS per
-  location, unioned) or ``"es_each"`` (exhaustive per location).
+one simulated disk, and per-Δt ST-Index / Con-Index pairs.  It no longer
+dispatches algorithms itself: queries are planned by
+:mod:`~repro.core.planner` and run by whichever executor the
+:mod:`~repro.core.executors` registry holds for the plan — the ``s_query``
+/ ``m_query`` / ``r_query`` methods are thin wrappers kept for the classic
+one-query-at-a-time call sites.  Batch workloads should go through
+:class:`~repro.core.service.QueryService`, which shares bounding-region
+computations and warm buffer pools across queries.
 
 Every execution returns a :class:`~repro.core.query.QueryResult` carrying
 the Prob-reachable segments and the cost metrics (wall time, simulated disk
@@ -17,28 +17,33 @@ I/O, probability checks) the evaluation chapter reports.
 
 from __future__ import annotations
 
-import time
-
-from repro.core.baseline import exhaustive_search, exhaustive_search_pruned
 from repro.core.con_index import ConnectionIndex
-from repro.core.mqmb import mqmb_bounding_region
-from repro.core.probability import ProbabilityEstimator
-from repro.core.query import (
-    BoundingRegion,
-    MQuery,
-    QueryCost,
-    QueryResult,
-    SQuery,
-)
-from repro.core.sqmb import sqmb_bounding_region
+from repro.core.executors import execute_plan, executor_names
+from repro.core.planner import plan_query
+from repro.core.query import MQuery, QueryResult, SQuery
 from repro.core.st_index import STIndex
-from repro.core.tbs import trace_back_search
 from repro.network.model import RoadNetwork
 from repro.storage.disk import SimulatedDisk
 from repro.trajectory.store import TrajectoryDatabase
 
-S_QUERY_ALGORITHMS = ("sqmb_tbs", "es", "es_pruned")
-M_QUERY_ALGORITHMS = ("mqmb_tbs", "sqmb_tbs_each", "es_each")
+
+# The classic algorithm tuples are registry lookups now: the module
+# attributes S_QUERY_ALGORITHMS / M_QUERY_ALGORITHMS / R_QUERY_ALGORITHMS
+# still read as tuples (membership and iteration keep working) but are
+# computed from the executor registry at access time, so third-party
+# registrations show up automatically.
+_ALGORITHM_EXPORTS = {
+    "S_QUERY_ALGORITHMS": "s",
+    "M_QUERY_ALGORITHMS": "m",
+    "R_QUERY_ALGORITHMS": "r",
+}
+
+
+def __getattr__(name: str) -> tuple[str, ...]:
+    kind = _ALGORITHM_EXPORTS.get(name)
+    if kind is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return executor_names(kind)
 
 
 class ReachabilityEngine:
@@ -98,6 +103,13 @@ class ReachabilityEngine:
             self._con_indexes[delta_t_s] = index
         return index
 
+    def buffer_pools(self):
+        """Every live buffer pool, for cache-effectiveness reporting."""
+        for index in self._st_indexes.values():
+            yield index.pool
+        for index in self._con_indexes.values():
+            yield index.pool
+
     def invalidate_caches(self) -> None:
         """Drop trajectory-data buffer pools so the next query pays cold I/O.
 
@@ -106,12 +118,10 @@ class ReachabilityEngine:
         system keeps memory-resident, whereas the trajectory time lists are
         the massive disk-resident data whose I/O the paper measures.
         """
-        for index in self._st_indexes.values():
-            index.pool.invalidate()
-        for index in self._con_indexes.values():
-            index.pool.invalidate()
+        for pool in self.buffer_pools():
+            pool.invalidate()
 
-    # -- s-query -----------------------------------------------------------------
+    # -- classic single-query facade -------------------------------------------
 
     def s_query(
         self,
@@ -124,64 +134,15 @@ class ReachabilityEngine:
 
         Args:
             query: the s-query ``(S, T, L, Prob)``.
-            algorithm: ``"sqmb_tbs"`` or ``"es"``.
+            algorithm: a registered s-query algorithm (``"sqmb_tbs"``,
+                ``"es"``, ``"es_pruned"``, ...).
             delta_t_s: index granularity Δt in seconds.
             warm: keep buffer pools from previous queries (default: cold,
                 so each execution pays its own I/O, matching the paper's
                 per-query running-time measurements).
         """
-        if algorithm not in S_QUERY_ALGORITHMS:
-            raise ValueError(f"unknown s-query algorithm {algorithm!r}")
-        st = self.st_index(delta_t_s)
-        if not warm:
-            self.invalidate_caches()
-        before = self.disk.snapshot()
-        started = time.perf_counter()
-        start_segment = st.find_start_segment(query.location)
-        estimator = ProbabilityEstimator(
-            st,
-            start_segment,
-            query.start_time_s,
-            query.duration_s,
-            self.database.num_days,
-        )
-        result = QueryResult(start_segments=(start_segment,))
-        if estimator.start_days == 0:
-            # No trajectory ever left r0 in the first slot: nothing is
-            # Prob-reachable for any Prob > 0.
-            self._finish(result, before, started, [estimator], examined=0)
-            return result
-        if algorithm in ("es", "es_pruned"):
-            search = (
-                exhaustive_search if algorithm == "es" else exhaustive_search_pruned
-            )
-            es = search(self.network, estimator, query.prob)
-            result.segments = es.region
-            result.probabilities = es.probabilities
-            self._finish(result, before, started, [estimator], es.examined)
-            return result
-        con = self.con_index(delta_t_s)
-        max_region = sqmb_bounding_region(
-            con, start_segment, query.start_time_s, query.duration_s, "far"
-        )
-        min_region = sqmb_bounding_region(
-            con, start_segment, query.start_time_s, query.duration_s, "near"
-        )
-        tbs = trace_back_search(
-            self.network,
-            {start_segment: estimator},
-            query.prob,
-            max_region,
-            min_region,
-        )
-        result.segments = tbs.region
-        result.probabilities = tbs.probabilities
-        result.max_region = max_region
-        result.min_region = min_region
-        self._finish(result, before, started, [estimator], tbs.examined)
-        return result
-
-    # -- m-query -----------------------------------------------------------------
+        plan = plan_query("s", query, algorithm, delta_t_s, warm=warm)
+        return execute_plan(self, plan, query)
 
     def m_query(
         self,
@@ -194,59 +155,13 @@ class ReachabilityEngine:
 
         Args:
             query: the m-query ``({s1..sn}, T, L, Prob)``.
-            algorithm: ``"mqmb_tbs"``, ``"sqmb_tbs_each"`` or ``"es_each"``.
+            algorithm: a registered m-query algorithm (``"mqmb_tbs"``,
+                ``"sqmb_tbs_each"``, ``"es_each"``, ...).
             delta_t_s: index granularity Δt in seconds.
             warm: as in :meth:`s_query`.
         """
-        if algorithm not in M_QUERY_ALGORITHMS:
-            raise ValueError(f"unknown m-query algorithm {algorithm!r}")
-        if algorithm in ("sqmb_tbs_each", "es_each"):
-            return self._m_query_naive(query, algorithm, delta_t_s, warm)
-        st = self.st_index(delta_t_s)
-        con = self.con_index(delta_t_s)
-        if not warm:
-            self.invalidate_caches()
-        before = self.disk.snapshot()
-        started = time.perf_counter()
-        start_segments = list(
-            dict.fromkeys(
-                st.find_start_segment(location) for location in query.locations
-            )
-        )
-        estimators = {
-            seed: ProbabilityEstimator(
-                st, seed, query.start_time_s, query.duration_s,
-                self.database.num_days,
-            )
-            for seed in start_segments
-        }
-        result = QueryResult(start_segments=tuple(start_segments))
-        live = {
-            seed: est for seed, est in estimators.items() if est.start_days > 0
-        }
-        if not live:
-            self._finish(result, before, started, list(estimators.values()), 0)
-            return result
-        seeds = list(live)
-        max_region = mqmb_bounding_region(
-            con, seeds, query.start_time_s, query.duration_s, "far"
-        )
-        min_region = mqmb_bounding_region(
-            con, seeds, query.start_time_s, query.duration_s, "near"
-        )
-        tbs = trace_back_search(
-            self.network, live, query.prob, max_region, min_region
-        )
-        result.segments = tbs.region
-        result.probabilities = tbs.probabilities
-        result.max_region = max_region
-        result.min_region = min_region
-        self._finish(
-            result, before, started, list(estimators.values()), tbs.examined
-        )
-        return result
-
-    # -- reverse query -----------------------------------------------------------
+        plan = plan_query("m", query, algorithm, delta_t_s, warm=warm)
+        return execute_plan(self, plan, query)
 
     def r_query(
         self,
@@ -262,113 +177,10 @@ class ReachabilityEngine:
 
         Args:
             query: interpreted with ``query.location`` as the destination.
-            algorithm: ``"sqmb_tbs"`` (reverse bounds + trace-back) or
-                ``"es"`` (verify the whole road network).
+            algorithm: a registered r-query algorithm (``"sqmb_tbs"`` or
+                ``"es"``).
             delta_t_s: index granularity Δt in seconds.
             warm: as in :meth:`s_query`.
         """
-        from repro.core.reverse import (
-            ReverseProbabilityEstimator,
-            reverse_bounding_region,
-            reverse_exhaustive_search,
-        )
-
-        if algorithm not in ("sqmb_tbs", "es"):
-            raise ValueError(f"unknown r-query algorithm {algorithm!r}")
-        st = self.st_index(delta_t_s)
-        if not warm:
-            self.invalidate_caches()
-        before = self.disk.snapshot()
-        started = time.perf_counter()
-        target = st.find_start_segment(query.location)
-        estimator = ReverseProbabilityEstimator(
-            st, target, query.start_time_s, query.duration_s,
-            self.database.num_days,
-        )
-        result = QueryResult(start_segments=(target,))
-        if estimator.start_days == 0:
-            self._finish(result, before, started, [estimator], examined=0)
-            return result
-        if algorithm == "es":
-            es = reverse_exhaustive_search(self.network, estimator, query.prob)
-            result.segments = es.region
-            result.probabilities = es.probabilities
-            self._finish(result, before, started, [estimator], es.examined)
-            return result
-        con = self.con_index(delta_t_s)
-        max_region = reverse_bounding_region(
-            con, target, query.start_time_s, query.duration_s, "far"
-        )
-        min_region = reverse_bounding_region(
-            con, target, query.start_time_s, query.duration_s, "near"
-        )
-        tbs = trace_back_search(
-            self.network, {target: estimator}, query.prob,
-            max_region, min_region,
-        )
-        result.segments = tbs.region
-        result.probabilities = tbs.probabilities
-        result.max_region = max_region
-        result.min_region = min_region
-        self._finish(result, before, started, [estimator], tbs.examined)
-        return result
-
-    def _m_query_naive(
-        self, query: MQuery, algorithm: str, delta_t_s: int, warm: bool
-    ) -> QueryResult:
-        """n independent s-queries, unioned (the paper's m-query baseline)."""
-        sub_algorithm = "sqmb_tbs" if algorithm == "sqmb_tbs_each" else "es"
-        if not warm:
-            self.invalidate_caches()
-        before = self.disk.snapshot()
-        started = time.perf_counter()
-        merged = QueryResult()
-        starts: list[int] = []
-        checks = 0
-        examined = 0
-        for sub_query in query.as_s_queries():
-            # Each sub-query is an independent s-query (the whole point of
-            # the baseline): it pays its own cold I/O, including re-reading
-            # whatever overlaps earlier sub-queries already fetched.
-            sub = self.s_query(
-                sub_query, algorithm=sub_algorithm, delta_t_s=delta_t_s,
-                warm=warm,
-            )
-            merged.segments |= sub.segments
-            merged.probabilities.update(sub.probabilities)
-            starts.extend(sub.start_segments)
-            checks += sub.cost.probability_checks
-            examined += sub.cost.segments_expanded
-        merged.start_segments = tuple(dict.fromkeys(starts))
-        diff = self.disk.snapshot() - before
-        merged.cost = QueryCost(
-            wall_time_s=time.perf_counter() - started,
-            io=diff,
-            # Reads only: page writes can only stem from lazy index
-            # construction, which is offline work in the paper's model.
-            simulated_io_ms=diff.page_reads * self.disk.read_latency_ms,
-            probability_checks=checks,
-            segments_expanded=examined,
-        )
-        return merged
-
-    # -- internals -------------------------------------------------------------------
-
-    def _finish(
-        self,
-        result: QueryResult,
-        before,
-        started: float,
-        estimators: list[ProbabilityEstimator],
-        examined: int,
-    ) -> None:
-        diff = self.disk.snapshot() - before
-        result.cost = QueryCost(
-            wall_time_s=time.perf_counter() - started,
-            io=diff,
-            # Reads only: page writes can only stem from lazy index
-            # construction, which is offline work in the paper's model.
-            simulated_io_ms=diff.page_reads * self.disk.read_latency_ms,
-            probability_checks=sum(e.checks for e in estimators),
-            segments_expanded=examined,
-        )
+        plan = plan_query("r", query, algorithm, delta_t_s, warm=warm)
+        return execute_plan(self, plan, query)

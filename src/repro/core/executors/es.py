@@ -1,0 +1,65 @@
+"""The exhaustive-search baseline family.
+
+``es`` is the paper's baseline (§4.1): expand the physical road network to
+the end of every branch and verify each visited segment's Eq. 3.1
+probability against the trajectory time lists.  ``es_pruned`` stops each
+branch once historical support vanishes (ablation comparator, not in the
+paper).  ``es_each`` answers an m-query as n independent ``es`` runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.baseline import exhaustive_search, exhaustive_search_pruned
+from repro.core.executors import (
+    ExecutionContext,
+    ExecutionOutcome,
+    register_executor,
+)
+from repro.core.probability import ProbabilityEstimator
+from repro.core.query import MQuery, QueryResult, SQuery
+
+
+def _execute_exhaustive(
+    ctx: ExecutionContext, query: SQuery, search
+) -> ExecutionOutcome:
+    st = ctx.st_index()
+    start_segment = st.find_start_segment(query.location)
+    estimator = ProbabilityEstimator(
+        st, start_segment, query.start_time_s, query.duration_s,
+        ctx.database.num_days,
+    )
+    outcome = ExecutionOutcome(
+        result=QueryResult(start_segments=(start_segment,)),
+        estimators=[estimator],
+    )
+    if estimator.start_days == 0:
+        return outcome
+    es = search(ctx.network, estimator, query.prob)
+    outcome.result.segments = es.region
+    outcome.result.probabilities = es.probabilities
+    outcome.examined = es.examined
+    return outcome
+
+
+@register_executor("s", "es")
+def execute_es(ctx: ExecutionContext, plan, query: SQuery) -> ExecutionOutcome:
+    """The paper's ES baseline: verify every road-connected segment."""
+    return _execute_exhaustive(ctx, query, exhaustive_search)
+
+
+@register_executor("s", "es_pruned")
+def execute_es_pruned(
+    ctx: ExecutionContext, plan, query: SQuery
+) -> ExecutionOutcome:
+    """Support-pruned exhaustive search (ablation baseline)."""
+    return _execute_exhaustive(ctx, query, exhaustive_search_pruned)
+
+
+@register_executor("m", "es_each")
+def execute_es_each(
+    ctx: ExecutionContext, plan, query: MQuery
+) -> ExecutionOutcome:
+    """n independent exhaustive searches, unioned."""
+    from repro.core.executors.sqmb_tbs import execute_each
+
+    return execute_each(ctx, plan, query, "es")

@@ -1,0 +1,82 @@
+"""Reverse-reachability executors: who can reach the query location?
+
+The dual the paper's location-based-advertising application needs
+(Fig 1.2): backward bounding regions over predecessor expansion, or the
+reverse exhaustive baseline.
+"""
+
+from __future__ import annotations
+
+from repro.core.executors import (
+    ExecutionContext,
+    ExecutionOutcome,
+    register_executor,
+)
+from repro.core.query import QueryResult, SQuery
+from repro.core.reverse import (
+    ReverseProbabilityEstimator,
+    reverse_exhaustive_search,
+)
+from repro.core.tbs import trace_back_search
+
+
+def _target_estimator(ctx: ExecutionContext, query: SQuery):
+    st = ctx.st_index()
+    target = st.find_start_segment(query.location)
+    estimator = ReverseProbabilityEstimator(
+        st, target, query.start_time_s, query.duration_s,
+        ctx.database.num_days,
+    )
+    return target, estimator
+
+
+@register_executor("r", "sqmb_tbs")
+def execute_reverse_sqmb_tbs(
+    ctx: ExecutionContext, plan, query: SQuery
+) -> ExecutionOutcome:
+    """Reverse bounds (backward Con-Index expansion) + trace-back."""
+    target, estimator = _target_estimator(ctx, query)
+    outcome = ExecutionOutcome(
+        result=QueryResult(start_segments=(target,)),
+        estimators=[estimator],
+    )
+    if estimator.start_days == 0:
+        return outcome
+    seeds = (target,)
+    max_region = ctx.bounding_region(
+        plan.bounding_strategy, seeds, query.start_time_s, query.duration_s,
+        "far",
+    )
+    min_region = ctx.bounding_region(
+        plan.bounding_strategy, seeds, query.start_time_s, query.duration_s,
+        "near",
+    )
+    tbs = trace_back_search(
+        ctx.network, {target: estimator}, query.prob, max_region, min_region
+    )
+    result = outcome.result
+    result.segments = tbs.region
+    result.probabilities = tbs.probabilities
+    result.max_region = max_region
+    result.min_region = min_region
+    outcome.examined = tbs.examined
+    return outcome
+
+
+@register_executor("r", "es")
+def execute_reverse_es(
+    ctx: ExecutionContext, plan, query: SQuery
+) -> ExecutionOutcome:
+    """Reverse ES baseline: verify the whole road network."""
+    target, estimator = _target_estimator(ctx, query)
+    outcome = ExecutionOutcome(
+        result=QueryResult(start_segments=(target,)),
+        estimators=[estimator],
+    )
+    if estimator.start_days == 0:
+        return outcome
+    es = reverse_exhaustive_search(ctx.network, estimator, query.prob)
+    outcome.result.segments = es.region
+    outcome.result.probabilities = es.probabilities
+    outcome.examined = es.examined
+    return outcome

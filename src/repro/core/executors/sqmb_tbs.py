@@ -1,0 +1,87 @@
+"""The paper's s-query method: SQMB bounds + trace-back search.
+
+Also hosts ``sqmb_tbs_each``, the paper's m-query baseline (one SQMB+TBS
+run per location, unioned) — same family, same machinery, different entry
+point.
+"""
+
+from __future__ import annotations
+
+from repro.core.executors import (
+    ExecutionContext,
+    ExecutionOutcome,
+    register_executor,
+)
+from repro.core.probability import ProbabilityEstimator
+from repro.core.query import MQuery, QueryResult, SQuery
+from repro.core.tbs import trace_back_search
+
+
+@register_executor("s", "sqmb_tbs")
+def execute_sqmb_tbs(
+    ctx: ExecutionContext, plan, query: SQuery
+) -> ExecutionOutcome:
+    """Algorithms 1+2: bounding regions from the Con-Index, then TBS."""
+    st = ctx.st_index()
+    start_segment = st.find_start_segment(query.location)
+    estimator = ProbabilityEstimator(
+        st, start_segment, query.start_time_s, query.duration_s,
+        ctx.database.num_days,
+    )
+    outcome = ExecutionOutcome(
+        result=QueryResult(start_segments=(start_segment,)),
+        estimators=[estimator],
+    )
+    if estimator.start_days == 0:
+        # No trajectory ever left r0 in the first slot: nothing is
+        # Prob-reachable for any Prob > 0.
+        return outcome
+    seeds = (start_segment,)
+    max_region = ctx.bounding_region(
+        plan.bounding_strategy, seeds, query.start_time_s, query.duration_s,
+        "far",
+    )
+    min_region = ctx.bounding_region(
+        plan.bounding_strategy, seeds, query.start_time_s, query.duration_s,
+        "near",
+    )
+    tbs = trace_back_search(
+        ctx.network, {start_segment: estimator}, query.prob,
+        max_region, min_region,
+    )
+    result = outcome.result
+    result.segments = tbs.region
+    result.probabilities = tbs.probabilities
+    result.max_region = max_region
+    result.min_region = min_region
+    outcome.examined = tbs.examined
+    return outcome
+
+
+def execute_each(
+    ctx: ExecutionContext, plan, query: MQuery, sub_algorithm: str
+) -> ExecutionOutcome:
+    """n independent s-queries, unioned (the paper's m-query baselines).
+
+    Each sub-query is an independent s-query (the whole point of the
+    baseline): it pays its own cold I/O, including re-reading whatever
+    overlaps earlier sub-queries already fetched.
+    """
+    merged = ExecutionOutcome()
+    starts: list[int] = []
+    for sub_query in query.as_s_queries():
+        sub = ctx.run_subquery("s", sub_query, sub_algorithm, plan.warm)
+        merged.result.segments |= sub.result.segments
+        merged.result.probabilities.update(sub.result.probabilities)
+        starts.extend(sub.result.start_segments)
+        merged.estimators.extend(sub.estimators)
+        merged.examined += sub.examined
+    merged.result.start_segments = tuple(dict.fromkeys(starts))
+    return merged
+
+
+@register_executor("m", "sqmb_tbs_each")
+def execute_sqmb_tbs_each(
+    ctx: ExecutionContext, plan, query: MQuery
+) -> ExecutionOutcome:
+    return execute_each(ctx, plan, query, "sqmb_tbs")

@@ -1,11 +1,14 @@
 """Query plan explanation: where did a query's cost go?
 
-``EXPLAIN`` for reachability queries: runs the query while decomposing its
-cost into the stages of the paper's pipeline — start-segment lookup,
+``EXPLAIN`` for reachability queries: plans the query through
+:mod:`~repro.core.planner` — the same routing the executors follow, so the
+explanation renders the actual :class:`~repro.core.planner.QueryPlan`
+instead of re-deriving the logic — then runs it stage by stage while
+decomposing the cost into the paper's pipeline: start-segment lookup,
 bounding-region search (Con-Index), trace-back verification (ST-Index
-time-list reads) — and reports the sizes that drive each stage.  The
-benchmark figures show *that* SQMB+TBS wins; the explanation shows *why*
-(the shell it verifies is a small fraction of what ES verifies).
+time-list reads).  The benchmark figures show *that* SQMB+TBS wins; the
+explanation shows *why* (the shell it verifies is a small fraction of what
+ES verifies).
 """
 
 from __future__ import annotations
@@ -14,10 +17,10 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.engine import ReachabilityEngine
-from repro.core.mqmb import mqmb_bounding_region
+from repro.core.executors import ExecutionContext
+from repro.core.planner import QueryPlan, plan_query
 from repro.core.probability import ProbabilityEstimator
 from repro.core.query import MQuery, SQuery
-from repro.core.sqmb import sqmb_bounding_region
 from repro.core.tbs import trace_back_search
 
 
@@ -36,6 +39,7 @@ class QueryExplanation:
     """A decomposed query execution.
 
     Attributes:
+        plan: the routing decisions the planner made for the query.
         stages: per-stage costs, in execution order.
         region_segments: result size.
         max_cover / min_cover: bounding-region sizes.
@@ -44,6 +48,7 @@ class QueryExplanation:
             the paper's headline saving.
     """
 
+    plan: QueryPlan | None = None
     stages: list[StageCost] = field(default_factory=list)
     region_segments: int = 0
     max_cover: int = 0
@@ -53,6 +58,8 @@ class QueryExplanation:
 
     def to_text(self) -> str:
         lines = ["QUERY PLAN (SQMB + TBS)"]
+        if self.plan is not None:
+            lines.append(f"  {self.plan.describe()}")
         for stage in self.stages:
             lines.append(
                 f"  {stage.name:<24} {stage.wall_ms:8.2f} ms "
@@ -65,6 +72,38 @@ class QueryExplanation:
             f"{self.skipped_interior}"
         )
         return "\n".join(lines)
+
+
+class _StageRecorder:
+    """Runs stage thunks while charging their wall time and page reads."""
+
+    def __init__(self, engine: ReachabilityEngine, explanation: QueryExplanation):
+        self._engine = engine
+        self._explanation = explanation
+
+    def __call__(self, name: str, detail_fn, fn):
+        before = self._engine.disk.snapshot()
+        started = time.perf_counter()
+        value = fn()
+        wall = (time.perf_counter() - started) * 1e3
+        diff = self._engine.disk.snapshot() - before
+        self._explanation.stages.append(
+            StageCost(
+                name=name,
+                wall_ms=wall,
+                page_reads=diff.page_reads,
+                detail=detail_fn(value),
+            )
+        )
+        return value
+
+
+def _finish_from_tbs(explanation, tbs, max_region, min_region) -> None:
+    explanation.region_segments = len(tbs.region)
+    explanation.max_cover = len(max_region.cover)
+    explanation.min_cover = len(min_region.cover)
+    explanation.examined = tbs.examined
+    explanation.skipped_interior = max(0, len(tbs.region) - len(tbs.passed))
 
 
 def explain_s_query(
@@ -80,28 +119,15 @@ def explain_s_query(
         delta_t_s: index granularity.
 
     Returns:
-        The decomposed execution.
+        The decomposed execution, carrying the plan it followed.
     """
+    plan = plan_query("s", query, "sqmb_tbs", delta_t_s)
     st = engine.st_index(delta_t_s)
-    con = engine.con_index(delta_t_s)
+    engine.con_index(delta_t_s)
     engine.invalidate_caches()
-    explanation = QueryExplanation()
-
-    def stage(name: str, detail_fn, fn):
-        before = engine.disk.snapshot()
-        started = time.perf_counter()
-        value = fn()
-        wall = (time.perf_counter() - started) * 1e3
-        diff = engine.disk.snapshot() - before
-        explanation.stages.append(
-            StageCost(
-                name=name,
-                wall_ms=wall,
-                page_reads=diff.page_reads,
-                detail=detail_fn(value),
-            )
-        )
-        return value
+    explanation = QueryExplanation(plan=plan)
+    stage = _StageRecorder(engine, explanation)
+    context = ExecutionContext(engine, delta_t_s)
 
     start_segment = stage(
         "start-segment lookup",
@@ -121,15 +147,17 @@ def explain_s_query(
     max_region = stage(
         "max bounding region",
         lambda v: f"cover={len(v.cover)}, boundary={len(v.boundary)}",
-        lambda: sqmb_bounding_region(
-            con, start_segment, query.start_time_s, query.duration_s, "far"
+        lambda: context.bounding_region(
+            plan.bounding_strategy, (start_segment,), query.start_time_s,
+            query.duration_s, "far",
         ),
     )
     min_region = stage(
         "min bounding region",
         lambda v: f"cover={len(v.cover)}",
-        lambda: sqmb_bounding_region(
-            con, start_segment, query.start_time_s, query.duration_s, "near"
+        lambda: context.bounding_region(
+            plan.bounding_strategy, (start_segment,), query.start_time_s,
+            query.duration_s, "near",
         ),
     )
     tbs = stage(
@@ -140,13 +168,7 @@ def explain_s_query(
             max_region, min_region,
         ),
     )
-    explanation.region_segments = len(tbs.region)
-    explanation.max_cover = len(max_region.cover)
-    explanation.min_cover = len(min_region.cover)
-    explanation.examined = tbs.examined
-    explanation.skipped_interior = max(
-        0, len(tbs.region) - len(tbs.passed)
-    )
+    _finish_from_tbs(explanation, tbs, max_region, min_region)
     return explanation
 
 
@@ -156,24 +178,13 @@ def explain_m_query(
     delta_t_s: int = 300,
 ) -> QueryExplanation:
     """Execute an m-query with per-stage instrumentation."""
+    plan = plan_query("m", query, "mqmb_tbs", delta_t_s)
     st = engine.st_index(delta_t_s)
-    con = engine.con_index(delta_t_s)
+    engine.con_index(delta_t_s)
     engine.invalidate_caches()
-    explanation = QueryExplanation()
-
-    def stage(name: str, detail_fn, fn):
-        before = engine.disk.snapshot()
-        started = time.perf_counter()
-        value = fn()
-        wall = (time.perf_counter() - started) * 1e3
-        diff = engine.disk.snapshot() - before
-        explanation.stages.append(
-            StageCost(
-                name=name, wall_ms=wall, page_reads=diff.page_reads,
-                detail=detail_fn(value),
-            )
-        )
-        return value
+    explanation = QueryExplanation(plan=plan)
+    stage = _StageRecorder(engine, explanation)
+    context = ExecutionContext(engine, delta_t_s)
 
     seeds = stage(
         "start-segment lookup",
@@ -201,15 +212,17 @@ def explain_m_query(
     max_region = stage(
         "unified max region",
         lambda v: f"cover={len(v.cover)}, boundary={len(v.boundary)}",
-        lambda: mqmb_bounding_region(
-            con, list(live), query.start_time_s, query.duration_s, "far"
+        lambda: context.bounding_region(
+            plan.bounding_strategy, tuple(live), query.start_time_s,
+            query.duration_s, "far",
         ),
     )
     min_region = stage(
         "unified min region",
         lambda v: f"cover={len(v.cover)}",
-        lambda: mqmb_bounding_region(
-            con, list(live), query.start_time_s, query.duration_s, "near"
+        lambda: context.bounding_region(
+            plan.bounding_strategy, tuple(live), query.start_time_s,
+            query.duration_s, "near",
         ),
     )
     tbs = stage(
@@ -219,9 +232,5 @@ def explain_m_query(
             engine.network, live, query.prob, max_region, min_region
         ),
     )
-    explanation.region_segments = len(tbs.region)
-    explanation.max_cover = len(max_region.cover)
-    explanation.min_cover = len(min_region.cover)
-    explanation.examined = tbs.examined
-    explanation.skipped_interior = max(0, len(tbs.region) - len(tbs.passed))
+    _finish_from_tbs(explanation, tbs, max_region, min_region)
     return explanation

@@ -15,7 +15,11 @@ from __future__ import annotations
 
 from repro.core.con_index import ConnectionIndex, Kind
 from repro.core.query import BoundingRegion
-from repro.core.sqmb import close_under_twins, region_boundary
+from repro.core.sqmb import (
+    close_under_twins,
+    region_boundary,
+    slot_aware_expansion,
+)
 
 
 def mqmb_bounding_region(
@@ -67,6 +71,7 @@ def mqmb_bounding_region(
         if twin is not None and network.has_segment(twin):
             cover.add(twin)
             seed_of.setdefault(twin, seed_of[seed])
+    expansion_seeds = sorted(cover)
     for step in range(steps):
         slot = con_index.slot_of(start_time_s + step * delta_t)
         additions: set[int] = set()
@@ -79,6 +84,21 @@ def mqmb_bounding_region(
                 nearest_seed(segment_id) if len(seeds) > 1 else seeds[0]
             )
         cover |= additions
+    if kind == "far":
+        # Residual-carry top-up (see sqmb.slot_aware_expansion): the upper
+        # bound must also cross segments slower than one Δt slot.
+        carried = (
+            slot_aware_expansion(
+                con_index, expansion_seeds, start_time_s,
+                steps * delta_t, kind,
+            )
+            - cover
+        )
+        for segment_id in carried:
+            seed_of[segment_id] = (
+                nearest_seed(segment_id) if len(seeds) > 1 else seeds[0]
+            )
+        cover |= carried
     close_under_twins(network, cover)
     for segment_id in list(cover):
         if segment_id not in seed_of:

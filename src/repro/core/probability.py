@@ -1,9 +1,10 @@
 """Reachability probabilities (Eq. 3.1).
 
 ``probability(r, r0) = m*/m`` where ``m*`` counts the days on which some
-single trajectory both passed the start segment ``r0`` during the first
-time slot ``[T, T+Δt]`` and passed ``r`` during the query window
-``[T, T+L]``.  The estimator caches the start segment's per-day trajectory
+single trajectory both passed the start segment ``r0`` during the
+departure window ``[T, T+min(W, L)]`` (``W`` fixed at the paper's
+canonical 5-minute slot, independent of the index Δt) and passed ``r``
+during the query window ``[T, T+L]``.  The estimator caches the start segment's per-day trajectory
 sets, so each additional segment costs only its own time-list reads plus
 per-day set intersections — the unit of work both ES and TBS pay per
 probability check.
@@ -18,6 +19,16 @@ therefore road-level, matching the map renderings of Figs 4.2/4.4/4.6.
 from __future__ import annotations
 
 from repro.core.st_index import STIndex
+
+#: Departure-window width ``W`` in seconds.  Eq. 3.1 counts trajectories
+#: that left ``r0`` "during the first time slot"; tying that window to the
+#: index granularity makes *results* depend on Δt (a 1-minute index
+#: starves the start set, a 20-minute one inflates it), contradicting the
+#: Δt-insensitivity of Figs 4.1(b)/4.7.  Since time lists store per-visit
+#: seconds, the departure window can be fixed at the paper's canonical
+#: 5-minute slot regardless of the index Δt — Δt then only affects query
+#: *cost* (slot reads, bound tightness), exactly as the figures present.
+DEPARTURE_WINDOW_S = 300.0
 
 
 class ProbabilityEstimator:
@@ -49,10 +60,16 @@ class ProbabilityEstimator:
         self.num_days = num_days
         self.checks = 0
         self._cache: dict[int, float] = {}
-        # Tr(r0, [T, T+Δt], d): trajectories departing the start road in the
-        # first slot, per day.  Read once, reused for every candidate.
+        # Tr(r0, [T, T+min(W, L)], d): trajectories departing the start
+        # road in the departure window, per day, read once and reused for
+        # every candidate.  The window is truncated to the query window —
+        # a departure after T+L cannot contribute to reachability within
+        # [T, T+L] — and is independent of the index Δt, so results stay
+        # insensitive to the index granularity.
         self._start_sets = self._merged_window(
-            start_segment, start_time_s, start_time_s + index.delta_t_s
+            start_segment,
+            start_time_s,
+            start_time_s + min(DEPARTURE_WINDOW_S, duration_s),
         )
 
     def _twin(self, segment_id: int) -> int | None:

@@ -23,8 +23,13 @@ from __future__ import annotations
 
 from repro.core.baseline import ExhaustiveResult, exhaustive_search
 from repro.core.con_index import ConnectionIndex
+from repro.core.probability import DEPARTURE_WINDOW_S
 from repro.core.query import BoundingRegion
-from repro.core.sqmb import close_under_twins, region_boundary
+from repro.core.sqmb import (
+    close_under_twins,
+    region_boundary,
+    slot_aware_expansion,
+)
 from repro.core.st_index import STIndex
 from repro.network.model import RoadNetwork
 
@@ -107,7 +112,8 @@ class ReverseProbabilityEstimator:
             origin_sets = self._merged_window(
                 segment_id,
                 self.start_time_s,
-                self.start_time_s + self.index.delta_t_s,
+                self.start_time_s
+                + min(DEPARTURE_WINDOW_S, self.duration_s),
             )
             good_days = 0
             for date, target_ids in self._target_sets.items():
@@ -155,6 +161,7 @@ def reverse_bounding_region(
     twin = network.segment(target_segment).twin_id
     if twin is not None and network.has_segment(twin):
         cover.add(twin)
+    seeds = sorted(cover)
     for step in range(steps):
         slot = con_index.slot_of(start_time_s + step * delta_t)
         additions: set[int] = set()
@@ -162,6 +169,12 @@ def reverse_bounding_region(
             entry = con_index.entry(segment_id, slot, reverse_kind)
             additions |= entry.cover
         cover |= additions
+    if kind == "far":
+        # Residual-carry top-up (see sqmb.slot_aware_expansion): the upper
+        # bound must also cross segments slower than one Δt slot.
+        cover |= slot_aware_expansion(
+            con_index, seeds, start_time_s, steps * delta_t, reverse_kind
+        )
     close_under_twins(network, cover)
     return BoundingRegion(
         cover=cover,

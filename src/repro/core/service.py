@@ -1,0 +1,253 @@
+"""The batch-capable query service: plan, share, execute.
+
+:class:`QueryService` is the front door for workloads.  A single query
+behaves exactly like the classic engine facade (cold buffer pools, one
+plan, one executor), but :meth:`QueryService.run_batch` exploits what a
+multi-user workload shares:
+
+* **bounding-region dedup** — queries whose seeds fall in the same
+  segments and Δt slot share their SQMB/MQMB/reverse bounding regions
+  through one per-batch cache instead of re-expanding the Con-Index;
+* **warm buffer pools** — the batch pays one cold start, then every
+  later query reads time-list pages the earlier ones already pulled in;
+* **plan reuse** — identically-shaped queries share one frozen
+  :class:`~repro.core.planner.QueryPlan`;
+* **worker pool** — independent queries can run on threads
+  (``max_workers > 1``); per-query I/O attribution is approximate under
+  concurrency, the batch totals stay exact.
+
+The returned :class:`BatchReport` carries per-query results plus
+batch-level cost and cache-effectiveness metrics (buffer-pool hit/miss/
+eviction counters from :class:`~repro.storage.disk.DiskStats`).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.engine import ReachabilityEngine
+from repro.core.executors import ExecutionContext, execute_plan
+from repro.core.planner import QueryPlan, plan_query
+from repro.core.query import MQuery, QueryResult, SQuery
+from repro.storage.disk import DiskStats
+
+#: Default algorithm per query kind (the paper's methods).
+DEFAULT_ALGORITHMS = {"s": "sqmb_tbs", "m": "mqmb_tbs", "r": "sqmb_tbs"}
+
+
+def kind_of(query: SQuery | MQuery) -> str:
+    """The planner kind for a query object (reverse must be explicit)."""
+    return "m" if isinstance(query, MQuery) else "s"
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one :meth:`QueryService.run_batch` call.
+
+    Attributes:
+        results: per-query results, in submission order.
+        plans: the (deduplicated, shared) plan of each query.
+        wall_time_s: batch wall time.
+        io: batch-level disk-stat difference, including buffer-pool
+            hit/miss/eviction counters.
+        simulated_io_ms: accounted I/O cost of the batch's page reads.
+        regions_computed: bounding regions expanded from the Con-Index.
+        regions_reused: bounding regions served from the batch cache.
+        plans_reused: queries that shared an earlier query's plan.
+    """
+
+    results: list[QueryResult] = field(default_factory=list)
+    plans: list[QueryPlan] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    io: DiskStats = field(default_factory=DiskStats)
+    simulated_io_ms: float = 0.0
+    regions_computed: int = 0
+    regions_reused: int = 0
+    plans_reused: int = 0
+
+    @property
+    def page_reads(self) -> int:
+        return self.io.page_reads
+
+    @property
+    def total_cost_ms(self) -> float:
+        """Wall time plus accounted I/O, the headline 'running time'."""
+        return self.wall_time_s * 1e3 + self.simulated_io_ms
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Key/value rows for :func:`repro.eval.tables.format_table`."""
+        return [
+            ("Queries", f"{len(self.results)}"),
+            ("Wall time", f"{self.wall_time_s * 1e3:.1f} ms"),
+            ("Page reads", f"{self.io.page_reads:,}"),
+            ("Simulated I/O", f"{self.simulated_io_ms:.0f} ms"),
+            (
+                "Buffer pool",
+                f"{self.io.pool_hits:,} hits / {self.io.pool_misses:,} misses"
+                f" / {self.io.pool_evictions:,} evictions"
+                f" ({self.io.pool_hit_rate * 100:.0f}% hit rate)",
+            ),
+            (
+                "Bounding regions",
+                f"{self.regions_computed} computed, "
+                f"{self.regions_reused} reused",
+            ),
+            ("Plans reused", f"{self.plans_reused}"),
+        ]
+
+
+class QueryService:
+    """Planner/executor query service over a :class:`ReachabilityEngine`.
+
+    Args:
+        engine: the index-owning engine queries run against.
+        delta_t_s: default index granularity Δt for queries that do not
+            specify one.
+    """
+
+    def __init__(
+        self, engine: ReachabilityEngine, delta_t_s: int = 300
+    ) -> None:
+        self.engine = engine
+        self.delta_t_s = delta_t_s
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(
+        self,
+        query: SQuery | MQuery,
+        algorithm: str | None = None,
+        delta_t_s: int | None = None,
+        kind: str | None = None,
+        warm: bool = False,
+    ) -> QueryPlan:
+        """Plan one query without executing it (``EXPLAIN``-style)."""
+        resolved_kind = kind if kind is not None else kind_of(query)
+        return plan_query(
+            resolved_kind,
+            query,
+            algorithm if algorithm is not None else DEFAULT_ALGORITHMS[resolved_kind],
+            delta_t_s if delta_t_s is not None else self.delta_t_s,
+            warm=warm,
+        )
+
+    # -- single queries ------------------------------------------------------
+
+    def query(
+        self,
+        query: SQuery | MQuery,
+        algorithm: str | None = None,
+        delta_t_s: int | None = None,
+        kind: str | None = None,
+        warm: bool = False,
+    ) -> QueryResult:
+        """Answer one query (s/m dispatched from the query type)."""
+        plan = self.plan(query, algorithm, delta_t_s, kind, warm)
+        return execute_plan(self.engine, plan, query)
+
+    def s_query(self, query: SQuery, **kw) -> QueryResult:
+        return self.query(query, kind="s", **kw)
+
+    def m_query(self, query: MQuery, **kw) -> QueryResult:
+        return self.query(query, kind="m", **kw)
+
+    def r_query(self, query: SQuery, **kw) -> QueryResult:
+        return self.query(query, kind="r", **kw)
+
+    # -- batches ----------------------------------------------------------------
+
+    def run_batch(
+        self,
+        queries: Sequence[SQuery | MQuery] | Iterable[SQuery | MQuery],
+        algorithm: str | None = None,
+        delta_t_s: int | None = None,
+        kind: str | None = None,
+        warm: bool = False,
+        max_workers: int = 1,
+    ) -> BatchReport:
+        """Run a batch of queries, sharing work between them.
+
+        The batch pays one cold start (unless ``warm``), after which all
+        queries run against warm buffer pools and a shared bounding-region
+        cache; identically-shaped queries also share one plan object.
+
+        Args:
+            queries: the queries, s- and m-queries freely mixed.
+            algorithm: override the per-kind default algorithm.
+            delta_t_s: index granularity for the whole batch.
+            kind: force a planner kind (``"r"`` for reverse batches).
+            warm: keep pre-batch buffer-pool contents too.
+            max_workers: thread count for concurrent execution; with more
+                than one worker the per-query I/O attribution is
+                approximate (counters are shared), batch totals are exact.
+
+        Returns:
+            The :class:`BatchReport`.
+        """
+        query_list = list(queries)
+        dt = delta_t_s if delta_t_s is not None else self.delta_t_s
+        report = BatchReport()
+        if not query_list:
+            return report
+        plan_cache: dict[tuple, QueryPlan] = {}
+        for query in query_list:
+            resolved_kind = kind if kind is not None else kind_of(query)
+            algo = (
+                algorithm
+                if algorithm is not None
+                else DEFAULT_ALGORITHMS[resolved_kind]
+            )
+            # Queries in the batch always run warm: the batch-level cold
+            # start below is the only cache invalidation.
+            plan = plan_query(resolved_kind, query, algo, dt, warm=True)
+            cached = plan_cache.get(plan)
+            if cached is not None:
+                report.plans_reused += 1
+                plan = cached
+            else:
+                plan_cache[plan] = plan
+            report.plans.append(plan)
+        # Build indexes up front so construction writes don't pollute the
+        # batch accounting (index construction is offline work).
+        self.engine.st_index(dt)
+        if any(plan.uses_con_index for plan in report.plans):
+            self.engine.con_index(dt)
+        context = ExecutionContext(self.engine, dt, region_cache={})
+        if not warm:
+            self.engine.invalidate_caches()
+        before = self.engine.disk.snapshot()
+        started = time.perf_counter()
+        if max_workers > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                report.results = list(
+                    pool.map(
+                        lambda pair: execute_plan(
+                            self.engine, pair[0], pair[1], context=context
+                        ),
+                        zip(report.plans, query_list),
+                    )
+                )
+        else:
+            report.results = [
+                execute_plan(self.engine, plan, query, context=context)
+                for plan, query in zip(report.plans, query_list)
+            ]
+        diff = self.engine.disk.snapshot() - before
+        report.wall_time_s = time.perf_counter() - started
+        report.io = diff
+        report.simulated_io_ms = (
+            diff.page_reads * self.engine.disk.read_latency_ms
+        )
+        report.regions_computed = context.regions_computed
+        report.regions_reused = context.regions_reused
+        return report
+
+
+def as_service(target: QueryService | ReachabilityEngine) -> QueryService:
+    """Adapt an engine to a service (call sites accept either)."""
+    if isinstance(target, QueryService):
+        return target
+    return QueryService(target)

@@ -17,9 +17,76 @@ reads an exhaustive expansion would pay near the start location.
 
 from __future__ import annotations
 
+import heapq
+
 from repro.core.con_index import ConnectionIndex, Kind
 from repro.core.query import BoundingRegion
 from repro.network.model import RoadNetwork
+
+
+def slot_aware_expansion(
+    con_index: ConnectionIndex,
+    seeds: list[int],
+    start_time_s: float,
+    budget_s: float,
+    kind: Kind = "far",
+) -> set[int]:
+    """Continuous-time expansion under per-slot speed models.
+
+    Algorithm 1's per-slot entry hops quantize travel to whole segments
+    per slot: a segment whose traversal time exceeds Δt is never crossed,
+    because each hop restarts from segment boundaries and intra-segment
+    progress is lost.  On networks with long segments and a fine index
+    (e.g. Δt = 1 min on 800 m segments) that silently clips the *maximum*
+    bounding region — an upper bound that under-covers makes trace-back
+    miss truly reachable segments.  This Dijkstra carries residual
+    progress across slot boundaries (the traversal cost of each segment is
+    taken from the slot the traveller is in when entering it); its cover
+    is unioned into the Far bound, so the bound never under-covers while
+    the memoised Con-Index entries remain the fast path.
+
+    Slot progression is *relative*: elapsed time ``t`` maps to slot
+    ``slot_of(T) + t // Δt``, the same quantization as the entry hops.
+    The cover therefore depends only on the start slot (not the sub-slot
+    start time), which is what makes bounding regions exactly shareable
+    across queries in the same slot.
+    """
+    step_of = (
+        con_index.network.predecessors
+        if kind.endswith("_rev")
+        else con_index.network.successors
+    )
+    start_slot = con_index.slot_of(start_time_s)
+    delta_t = con_index.delta_t_s
+    num_slots = con_index.num_slots
+    travel_fns: dict[int, object] = {}
+
+    def traversal(segment_id: int, time_s: float) -> float:
+        slot = (start_slot + int(time_s // delta_t)) % num_slots
+        fn = travel_fns.get(slot)
+        if fn is None:
+            fn = con_index.travel_time(kind, slot)
+            travel_fns[slot] = fn
+        return fn(segment_id)
+
+    best: dict[int, float] = {seed: 0.0 for seed in seeds}
+    heap: list[tuple[float, int]] = [(0.0, seed) for seed in seeds]
+    heapq.heapify(heap)
+    while heap:
+        time_now, segment = heapq.heappop(heap)
+        if time_now > best.get(segment, float("inf")):
+            continue
+        for neighbor in step_of(segment):
+            cost = traversal(neighbor, time_now)
+            if cost == float("inf"):
+                continue
+            reach = time_now + cost
+            if reach > budget_s:
+                continue
+            if reach < best.get(neighbor, float("inf")):
+                best[neighbor] = reach
+                heapq.heappush(heap, (reach, neighbor))
+    return set(best)
 
 
 def close_under_twins(network: RoadNetwork, cover: set[int]) -> None:
@@ -91,6 +158,7 @@ def sqmb_bounding_region(
     twin = con_index.network.segment(start_segment).twin_id
     if twin is not None and con_index.network.has_segment(twin):
         cover.add(twin)
+    seeds = sorted(cover)
     for step in range(steps):
         slot = con_index.slot_of(start_time_s + step * delta_t)
         additions: set[int] = set()
@@ -98,6 +166,12 @@ def sqmb_bounding_region(
             entry = con_index.entry(segment_id, slot, kind)
             additions |= entry.cover
         cover |= additions
+    if kind == "far":
+        # Top up with residual-carry expansion so the upper bound also
+        # crosses segments whose traversal time exceeds one Δt slot.
+        cover |= slot_aware_expansion(
+            con_index, seeds, start_time_s, steps * delta_t, kind
+        )
     close_under_twins(con_index.network, cover)
     return BoundingRegion(
         cover=cover,

@@ -6,11 +6,14 @@ Three components, exactly as Fig. 3.2 draws them:
 * **Spatial index** — one R-tree over the (static) re-segmented road
   network, shared by every temporal leaf;
 * **Time lists** — for each (road segment, time slot), a disk-resident list
-  of per-date trajectory IDs that traversed the segment in that slot.  The
-  two levels of temporal information (time-of-day slot and *date*) are what
-  make Prob-reachable computation cheap: one record read yields every day's
-  trajectory IDs for a segment-slot, and Eq. 3.1 only needs set
-  intersections from there.
+  of per-date ``(trajectory ID, visit second)`` pairs for the trajectories
+  that traversed the segment in that slot.  The two levels of temporal
+  information (time-of-day slot and *date*) are what make Prob-reachable
+  computation cheap: one record read yields every day's trajectory IDs for
+  a segment-slot, and Eq. 3.1 only needs set intersections from there.
+  The per-visit seconds additionally give windows sub-slot precision, so a
+  query window that starts or ends mid-slot filters the boundary slots
+  exactly instead of rounding out to whole slots.
 
 Time-list payloads live on the :class:`~repro.storage.disk.SimulatedDisk`;
 every access is charged through a buffer pool, which is the cost the query
@@ -35,37 +38,45 @@ from repro.trajectory.model import SECONDS_PER_DAY
 from repro.trajectory.store import TrajectoryDatabase
 
 
-def encode_time_list(per_date: dict[int, list[int]]) -> bytes:
-    """Serialize ``date -> trajectory ids`` for one (segment, slot) entry.
+def encode_time_list(per_date: dict[int, list[tuple[int, int]]]) -> bytes:
+    """Serialize ``date -> [(trajectory id, visit second)]`` for one entry.
 
-    Flat uint32 layout: ``[num_dates, (date, count, ids...)*]``.
+    Flat uint32 layout: ``[num_dates, (date, count, (id, second)*count)*]``.
+    Visit seconds (whole seconds since midnight) give the time lists
+    sub-slot precision, so query windows that start or end mid-slot can be
+    filtered exactly instead of rounding out to whole slots.
     """
     values: list[int] = [len(per_date)]
     for date in sorted(per_date):
-        ids = sorted(per_date[date])
+        visits = sorted(per_date[date])
         values.append(date)
-        values.append(len(ids))
-        values.extend(ids)
+        values.append(len(visits))
+        for trajectory_id, second in visits:
+            values.append(trajectory_id)
+            values.append(second)
     return struct.pack(f"<{len(values)}I", *values)
 
 
-def decode_time_list(payload: bytes) -> dict[int, list[int]]:
+def decode_time_list(payload: bytes) -> dict[int, list[tuple[int, int]]]:
     """Inverse of :func:`encode_time_list`."""
     if len(payload) % 4 != 0:
         raise SerializationError("time list payload not uint32-aligned")
     values = struct.unpack(f"<{len(payload) // 4}I", payload)
     num_dates = values[0]
-    per_date: dict[int, list[int]] = {}
+    per_date: dict[int, list[tuple[int, int]]] = {}
     offset = 1
     for _ in range(num_dates):
         if offset + 2 > len(values):
             raise SerializationError("truncated time list header")
         date, count = values[offset], values[offset + 1]
         offset += 2
-        if offset + count > len(values):
+        if offset + 2 * count > len(values):
             raise SerializationError("truncated time list ids")
-        per_date[date] = list(values[offset : offset + count])
-        offset += count
+        per_date[date] = [
+            (values[offset + 2 * i], values[offset + 2 * i + 1])
+            for i in range(count)
+        ]
+        offset += 2 * count
     if offset != len(values):
         raise SerializationError("trailing values in time list payload")
     return per_date
@@ -134,26 +145,28 @@ class STIndex:
         """
         if self._built:
             raise RuntimeError("ST-Index already built")
-        seg_parts, slot_parts, date_parts, tid_parts = [], [], [], []
+        seg_parts, slot_parts, date_parts = [], [], []
+        tid_parts, time_parts = [], []
         for trajectory_id, date, segments, times in database.iter_compact():
             n = len(segments)
             if n == 0:
                 continue
+            seconds = np.minimum(times, SECONDS_PER_DAY - 1).astype(np.int64)
             seg_parts.append(segments.astype(np.int64))
-            slot_parts.append(
-                np.minimum(times, SECONDS_PER_DAY - 1).astype(np.int64)
-                // self.delta_t_s
-            )
+            slot_parts.append(seconds // self.delta_t_s)
             date_parts.append(np.full(n, date, dtype=np.int64))
             tid_parts.append(np.full(n, trajectory_id, dtype=np.int64))
+            time_parts.append(seconds)
         if seg_parts:
             segments = np.concatenate(seg_parts)
             slots = np.concatenate(slot_parts)
             dates = np.concatenate(date_parts)
             tids = np.concatenate(tid_parts)
-            order = np.lexsort((tids, dates, slots, segments))
+            seconds = np.concatenate(time_parts)
+            order = np.lexsort((seconds, tids, dates, slots, segments))
             segments, slots = segments[order], slots[order]
             dates, tids = dates[order], tids[order]
+            seconds = seconds[order]
             group_keys = segments * self.num_slots + slots
             _, starts = np.unique(group_keys, return_index=True)
             boundaries = np.append(starts, len(group_keys))
@@ -161,15 +174,23 @@ class STIndex:
                 lo, hi = boundaries[i], boundaries[i + 1]
                 segment_id = int(segments[lo])
                 slot = int(slots[lo])
-                per_date: dict[int, list[int]] = {}
+                per_date: dict[int, list[tuple[int, int]]] = {}
                 group_dates = dates[lo:hi]
                 group_tids = tids[lo:hi]
+                group_seconds = seconds[lo:hi]
                 date_starts = np.unique(group_dates, return_index=True)[1]
                 date_bounds = np.append(date_starts, hi - lo)
                 for j in range(len(date_starts)):
                     a, b = date_bounds[j], date_bounds[j + 1]
-                    ids = np.unique(group_tids[a:b]).tolist()
-                    per_date[int(group_dates[a])] = ids
+                    visits = sorted(
+                        set(
+                            zip(
+                                group_tids[a:b].tolist(),
+                                group_seconds[a:b].tolist(),
+                            )
+                        )
+                    )
+                    per_date[int(group_dates[a])] = visits
                 payload = encode_time_list(per_date)
                 self._directory[(segment_id, slot)] = [
                     self._store.append(payload)
@@ -192,16 +213,17 @@ class STIndex:
         """
         if not self._built:
             raise RuntimeError("build the ST-Index before appending")
-        pending: dict[tuple[int, int], dict[int, set[int]]] = {}
+        pending: dict[tuple[int, int], dict[int, set[tuple[int, int]]]] = {}
         for trajectory in trajectories:
             date = trajectory.date
             trajectory_id = trajectory.trajectory_id
             for visit in trajectory.visits:
                 slot = self.slot_of(visit.time_s)
+                second = int(min(max(0.0, visit.time_s), SECONDS_PER_DAY - 1))
                 per_date = pending.setdefault((visit.segment_id, slot), {})
-                per_date.setdefault(date, set()).add(trajectory_id)
+                per_date.setdefault(date, set()).add((trajectory_id, second))
         for key in sorted(pending):
-            per_date = {d: sorted(ids) for d, ids in pending[key].items()}
+            per_date = {d: sorted(visits) for d, visits in pending[key].items()}
             pointer = self._store.append(encode_time_list(per_date))
             self._directory.setdefault(key, []).append(pointer)
         # (Tail-page cache coherence is handled by the disk's write-through
@@ -253,8 +275,10 @@ class STIndex:
 
     # -- time-list reads ----------------------------------------------------------------
 
-    def time_list(self, segment_id: int, slot: int) -> dict[int, set[int]]:
-        """Read a (segment, slot) time list: ``date -> trajectory ids``.
+    def time_entries(
+        self, segment_id: int, slot: int
+    ) -> dict[int, list[tuple[int, int]]]:
+        """Read a (segment, slot) time list: ``date -> (id, second) visits``.
 
         Charged through the buffer pool; an absent entry (no trajectory ever
         hit the segment in the slot) is free, as the in-memory directory
@@ -263,27 +287,45 @@ class STIndex:
         chain = self._directory.get((segment_id, slot))
         if chain is None:
             return {}
-        merged: dict[int, set[int]] = {}
+        merged: dict[int, list[tuple[int, int]]] = {}
         for pointer in chain:
             payload = self._store.read(pointer, pool=self.pool)
-            for date, ids in decode_time_list(payload).items():
-                bucket = merged.get(date)
-                if bucket is None:
-                    merged[date] = set(ids)
-                else:
-                    bucket.update(ids)
+            for date, visits in decode_time_list(payload).items():
+                merged.setdefault(date, []).extend(visits)
         return merged
+
+    def time_list(self, segment_id: int, slot: int) -> dict[int, set[int]]:
+        """A (segment, slot) time list as ``date -> trajectory ids``."""
+        return {
+            date: {trajectory_id for trajectory_id, _ in visits}
+            for date, visits in self.time_entries(segment_id, slot).items()
+        }
 
     def trajectories_in_window(
         self, segment_id: int, start_s: float, end_s: float
     ) -> dict[int, set[int]]:
-        """Per-date trajectory IDs passing a segment within ``[start_s, end_s)``."""
+        """Per-date trajectory IDs passing a segment within ``[start_s, end_s)``.
+
+        Slots fully inside the window contribute every stored ID; slots the
+        window only partially overlaps are filtered by the per-visit seconds,
+        so the window boundaries are exact rather than rounded out to whole
+        Δt slots.
+        """
         merged: dict[int, set[int]] = {}
         for slot in self.slots_in_window(start_s, end_s):
-            for date, ids in self.time_list(segment_id, slot).items():
+            slot_start = slot * self.delta_t_s
+            whole_slot = start_s <= slot_start and slot_start + self.delta_t_s <= end_s
+            for date, visits in self.time_entries(segment_id, slot).items():
+                ids = {
+                    trajectory_id
+                    for trajectory_id, second in visits
+                    if whole_slot or start_s <= second < end_s
+                }
+                if not ids:
+                    continue
                 bucket = merged.get(date)
                 if bucket is None:
-                    merged[date] = set(ids)
+                    merged[date] = ids
                 else:
                     bucket |= ids
         return merged

@@ -5,6 +5,11 @@ Each ``run_*`` function executes one figure's sweep and returns a list of
 reachable road length) for each algorithm at each x-axis value.  The
 benchmark modules print these rows as the paper-style series and feed
 representative queries to pytest-benchmark.
+
+All sweeps go through the :class:`~repro.core.service.QueryService`
+planner/executor path; each function accepts either a service or a bare
+engine (adapted on the fly), and every sweep point is measured with cold
+buffer pools, matching the paper's per-query running-time protocol.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import ReachabilityEngine
 from repro.core.query import MQuery, SQuery
+from repro.core.service import BatchReport, QueryService, as_service
 from repro.eval.metrics import region_road_length_km
 from repro.spatial.geometry import Point
 
@@ -44,52 +50,57 @@ class SweepPoint:
     label: str = ""
 
 
-def _measure_s(
-    engine: ReachabilityEngine,
-    query: SQuery,
+def _measure(
+    service: QueryService | ReachabilityEngine,
+    query: SQuery | MQuery,
     algorithm: str,
     delta_t_s: int,
     x: float,
     label: str = "",
 ) -> SweepPoint:
-    result = engine.s_query(query, algorithm=algorithm, delta_t_s=delta_t_s)
+    service = as_service(service)
+    result = service.query(query, algorithm=algorithm, delta_t_s=delta_t_s)
     return SweepPoint(
         x=x,
         algorithm=algorithm,
         running_time_ms=result.cost.total_cost_ms,
         wall_ms=result.cost.wall_time_s * 1e3,
         io_ms=result.cost.simulated_io_ms,
-        road_length_km=region_road_length_km(result, engine.network),
+        road_length_km=region_road_length_km(result, service.engine.network),
         region_segments=len(result.segments),
         probability_checks=result.cost.probability_checks,
         label=label,
     )
 
 
-def _measure_m(
-    engine: ReachabilityEngine,
-    query: MQuery,
-    algorithm: str,
-    delta_t_s: int,
-    x: float,
-    label: str = "",
-) -> SweepPoint:
-    result = engine.m_query(query, algorithm=algorithm, delta_t_s=delta_t_s)
-    return SweepPoint(
-        x=x,
+_measure_s = _measure
+_measure_m = _measure
+
+
+def run_workload_batch(
+    engine: ReachabilityEngine | QueryService,
+    queries,
+    algorithm: str | None = None,
+    delta_t_s: int = 300,
+    max_workers: int = 1,
+) -> BatchReport:
+    """Run a query workload as one service batch (throughput protocol).
+
+    Unlike the figure sweeps — which pay cold I/O per query, matching the
+    paper's per-query measurements — a batch shares warm buffer pools and
+    deduplicated bounding regions across the whole workload, which is the
+    deployment-facing number.
+    """
+    return as_service(engine).run_batch(
+        queries,
         algorithm=algorithm,
-        running_time_ms=result.cost.total_cost_ms,
-        wall_ms=result.cost.wall_time_s * 1e3,
-        io_ms=result.cost.simulated_io_ms,
-        road_length_km=region_road_length_km(result, engine.network),
-        region_segments=len(result.segments),
-        probability_checks=result.cost.probability_checks,
-        label=label,
+        delta_t_s=delta_t_s,
+        max_workers=max_workers,
     )
 
 
 def run_duration_sweep(
-    engine: ReachabilityEngine,
+    engine: ReachabilityEngine | QueryService,
     location: Point,
     durations_s: tuple[int, ...],
     start_time_s: float,
@@ -118,7 +129,7 @@ def run_duration_sweep(
 
 
 def run_probability_sweep(
-    engine: ReachabilityEngine,
+    engine: ReachabilityEngine | QueryService,
     location: Point,
     probabilities: tuple[float, ...],
     start_time_s: float,
@@ -146,7 +157,7 @@ def run_probability_sweep(
 
 
 def run_start_time_sweep(
-    engine: ReachabilityEngine,
+    engine: ReachabilityEngine | QueryService,
     location: Point,
     start_times_s: tuple[int, ...],
     durations_s: tuple[int, ...] = (300, 600),
@@ -168,7 +179,7 @@ def run_start_time_sweep(
 
 
 def run_interval_sweep(
-    engine: ReachabilityEngine,
+    engine: ReachabilityEngine | QueryService,
     location: Point,
     intervals_s: tuple[int, ...],
     start_time_s: float,
@@ -197,7 +208,7 @@ def run_interval_sweep(
 
 
 def run_mquery_duration_sweep(
-    engine: ReachabilityEngine,
+    engine: ReachabilityEngine | QueryService,
     locations: tuple[Point, ...],
     durations_s: tuple[int, ...],
     start_time_s: float,
@@ -221,7 +232,7 @@ def run_mquery_duration_sweep(
 
 
 def run_location_count_sweep(
-    engine: ReachabilityEngine,
+    engine: ReachabilityEngine | QueryService,
     locations: tuple[Point, ...],
     counts: tuple[int, ...],
     start_time_s: float,

@@ -3,17 +3,46 @@
 Parameterised query batches for throughput-style measurements: random
 locations (biased downtown, where queries make sense), random start times,
 and the Table 4.2 parameter grids.  Deterministic given the seed.
+
+The batches are plain query lists, shaped for
+:meth:`repro.core.service.QueryService.run_batch` — the service dedups the
+bounding regions the batch's queries share and keeps buffer pools warm
+across it.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.query import MQuery, SQuery
 from repro.network.model import RoadNetwork
 from repro.spatial.geometry import Point
 from repro.trajectory.model import SECONDS_PER_DAY
+
+
+def fig48_m_query_batch(
+    locations: Sequence[Point],
+    durations_s: Sequence[int],
+    start_time_s: float,
+    prob: float = 0.2,
+) -> list[MQuery]:
+    """The Fig 4.8(a) m-query workload as one flat service batch.
+
+    One m-query over the same location set per duration — the batch whose
+    queries share every bounding-region prefix, which is what
+    ``QueryService.run_batch`` deduplicates.
+    """
+    return [
+        MQuery(
+            locations=tuple(locations),
+            start_time_s=start_time_s,
+            duration_s=duration_s,
+            prob=prob,
+        )
+        for duration_s in durations_s
+    ]
 
 
 @dataclass
@@ -100,3 +129,26 @@ class QueryWorkload:
                 )
             )
         return queries
+
+    def mixed_batch(
+        self,
+        s_count: int,
+        m_count: int,
+        duration_s: float = 600.0,
+        prob: float = 0.2,
+        start_time_s: float | None = None,
+    ) -> list[SQuery | MQuery]:
+        """An interleaved s-/m-query batch (multi-user traffic shape)."""
+        batch: list[SQuery | MQuery] = []
+        batch.extend(
+            self.s_queries(s_count, duration_s, prob, start_time_s)
+        )
+        batch.extend(
+            self.m_queries(
+                m_count, duration_s=duration_s * 2, prob=prob,
+                start_time_s=start_time_s,
+            )
+        )
+        rng = self._rng("mix")
+        rng.shuffle(batch)
+        return batch

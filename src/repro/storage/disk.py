@@ -34,19 +34,35 @@ class DiskError(Exception):
 
 @dataclass
 class DiskStats:
-    """Counters accumulated by a :class:`SimulatedDisk`.
+    """Counters accumulated by a :class:`SimulatedDisk` and its pools.
 
     Attributes:
-        page_reads: number of page read operations served.
+        page_reads: number of page read operations served by the disk.
         page_writes: number of page write operations served.
         bytes_read: total payload bytes returned by reads.
         bytes_written: total payload bytes accepted by writes.
+        pool_hits: page requests served from attached buffer pools.
+        pool_misses: pool requests that fell through to a disk read.
+        pool_evictions: pages dropped from full pools (LRU pressure).
+
+    The pool counters measure cache effectiveness: ``pool_hits`` pages
+    were requested but never charged as ``page_reads``, and sustained
+    ``pool_evictions`` mean the working set exceeds pool capacity.
     """
 
     page_reads: int = 0
     page_writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_evictions: int = 0
+
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of pool requests served without a disk read."""
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
 
     def copy(self) -> "DiskStats":
         return DiskStats(
@@ -54,6 +70,9 @@ class DiskStats:
             page_writes=self.page_writes,
             bytes_read=self.bytes_read,
             bytes_written=self.bytes_written,
+            pool_hits=self.pool_hits,
+            pool_misses=self.pool_misses,
+            pool_evictions=self.pool_evictions,
         )
 
     def __sub__(self, other: "DiskStats") -> "DiskStats":
@@ -62,6 +81,9 @@ class DiskStats:
             page_writes=self.page_writes - other.page_writes,
             bytes_read=self.bytes_read - other.bytes_read,
             bytes_written=self.bytes_written - other.bytes_written,
+            pool_hits=self.pool_hits - other.pool_hits,
+            pool_misses=self.pool_misses - other.pool_misses,
+            pool_evictions=self.pool_evictions - other.pool_evictions,
         )
 
 
@@ -154,8 +176,20 @@ class SimulatedDisk:
         )
 
     def snapshot(self) -> DiskStats:
-        """A copy of the current counters, for before/after differencing."""
-        return self.stats.copy()
+        """A copy of the current counters, for before/after differencing.
+
+        Includes the hit/miss/eviction counters of every attached buffer
+        pool, so a snapshot difference reports cache effectiveness next to
+        the raw I/O it saved.
+        """
+        stats = self.stats.copy()
+        for ref in self._pools:
+            pool = ref()
+            if pool is not None:
+                stats.pool_hits += pool.hits
+                stats.pool_misses += pool.misses
+                stats.pool_evictions += pool.evictions
+        return stats
 
     def reset_stats(self) -> None:
         self.stats = DiskStats()

@@ -13,6 +13,7 @@ after the first read, mirroring a DBMS buffer manager.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -113,8 +114,12 @@ class BufferPool:
         self._disk = disk
         self.capacity = capacity
         self._pages: OrderedDict[int, bytes] = OrderedDict()
+        # Pools are shared across QueryService batch worker threads; the
+        # lock keeps the LRU's check-then-act sequences atomic.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         disk.attach_pool(self)
 
     def get_page(self, page_id: int) -> bytes:
@@ -122,24 +127,28 @@ class BufferPool:
         if self.capacity == 0:
             self.misses += 1
             return self._disk.read_page(page_id)
-        cached = self._pages.get(page_id)
-        if cached is not None:
-            self._pages.move_to_end(page_id)
-            self.hits += 1
-            return cached
+        with self._lock:
+            cached = self._pages.get(page_id)
+            if cached is not None:
+                self._pages.move_to_end(page_id)
+                self.hits += 1
+                return cached
         self.misses += 1
         payload = self._disk.read_page(page_id)
-        self._pages[page_id] = payload
-        if len(self._pages) > self.capacity:
-            self._pages.popitem(last=False)
+        with self._lock:
+            self._pages[page_id] = payload
+            if len(self._pages) > self.capacity:
+                self._pages.popitem(last=False)
+                self.evictions += 1
         return payload
 
     def invalidate(self, page_id: int | None = None) -> None:
         """Drop one page (or everything) from the cache."""
-        if page_id is None:
-            self._pages.clear()
-        else:
-            self._pages.pop(page_id, None)
+        with self._lock:
+            if page_id is None:
+                self._pages.clear()
+            else:
+                self._pages.pop(page_id, None)
 
     @property
     def hit_rate(self) -> float:

@@ -108,17 +108,25 @@ class TestEquation31:
         est = ProbabilityEstimator(index, route[0], T, 240, NUM_DAYS)
         assert est.probability(route[5]) == 0.0
 
-    def test_window_semantics_are_slot_granular(self, index, route):
-        """Time lists are read per Δt slot, so a window starting mid-slot
-        still sees the whole slot's trajectory IDs — the index trades that
-        approximation for one read per (segment, slot), as the paper's
-        Fig 3.2 layout implies."""
-        est = ProbabilityEstimator(index, route[0], T + 61, 600, NUM_DAYS)
-        assert est.start_days == NUM_DAYS  # T+10 lives in the same slot
-        # But a start one full slot later genuinely excludes the passes.
-        later = ProbabilityEstimator(index, route[0], T + 301, 600, NUM_DAYS)
+    def test_window_semantics_are_exact(self, index, route):
+        """Time lists carry per-visit seconds, so a window starting
+        mid-slot excludes earlier visits in the same slot instead of
+        rounding out to the whole Δt slot."""
+        est = ProbabilityEstimator(index, route[0], T + 5, 600, NUM_DAYS)
+        assert est.start_days == NUM_DAYS  # departures at T+10/T+20
+        # A start past the day's departures sees none of them, even
+        # though T+61 lives in the same Δt slot as T+10.
+        later = ProbabilityEstimator(index, route[0], T + 61, 600, NUM_DAYS)
         assert later.start_days == 0
         assert later.probability(route[1]) == 0.0
+
+    def test_short_duration_truncates_departure_window(self, index, route):
+        """With L < Δt the departure window is [T, T+L], not the whole
+        first slot — results stay insensitive to the index granularity."""
+        est = ProbabilityEstimator(index, route[0], T, 15, NUM_DAYS)
+        assert est.start_days == NUM_DAYS  # T+10 departures qualify
+        shorter = ProbabilityEstimator(index, route[0], T, 9, NUM_DAYS)
+        assert shorter.start_days == 0
 
     def test_cache_counts_checks_once(self, index, route):
         est = ProbabilityEstimator(index, route[0], T, 600, NUM_DAYS)

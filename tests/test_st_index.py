@@ -35,9 +35,13 @@ def db_with(network, visits_by_traj, num_taxis=8, num_days=5):
 
 class TestTimeListCodec:
     def test_roundtrip(self):
-        per_date = {0: [5, 2, 9], 3: [1], 29: []}
+        per_date = {0: [(5, 120), (2, 40), (9, 299)], 3: [(1, 0)], 29: []}
         decoded = decode_time_list(encode_time_list(per_date))
-        assert decoded == {0: [2, 5, 9], 3: [1], 29: []}
+        assert decoded == {
+            0: [(2, 40), (5, 120), (9, 299)],
+            3: [(1, 0)],
+            29: [],
+        }
 
     def test_empty(self):
         assert decode_time_list(encode_time_list({})) == {}
@@ -47,7 +51,7 @@ class TestTimeListCodec:
             decode_time_list(b"\x01\x00\x00")
 
     def test_truncated_rejected(self):
-        payload = encode_time_list({1: [2, 3]})
+        payload = encode_time_list({1: [(2, 10), (3, 20)]})
         with pytest.raises(SerializationError):
             decode_time_list(payload[:-4])
 
@@ -125,6 +129,19 @@ class TestBuildAndRead:
         assert window == {0: {0, 1}}
         wide = index.trajectories_in_window(5, 0, 900)
         assert wide == {0: {0, 1}, 1: {2}}
+
+    def test_partial_slot_window_is_exact(self, network):
+        db = db_with(network, {
+            (0, 0, 0): [(5, 100.0, 3.0)],
+            (1, 1, 0): [(5, 250.0, 3.0)],
+        })
+        index = STIndex(network, 300)
+        index.build(db)
+        # Windows that cut a slot filter by the stored visit seconds
+        # instead of rounding out to the whole slot.
+        assert index.trajectories_in_window(5, 0, 200) == {0: {0}}
+        assert index.trajectories_in_window(5, 150, 300) == {0: {1}}
+        assert index.trajectories_in_window(5, 0, 300) == {0: {0, 1}}
 
     def test_reads_charge_io(self, network):
         db = db_with(network, {(0, 0, 0): [(5, 100.0, 3.0)]})

@@ -170,6 +170,34 @@ class TestBufferPool:
         pool.get_page(page)
         assert pool.misses == 3
 
+    def test_eviction_counter(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=2)
+        pages = [disk.allocate() for _ in range(3)]
+        for p in pages:
+            disk.write_page(p, b"p")
+        for p in pages:
+            pool.get_page(p)
+        assert pool.evictions == 1
+        pool.get_page(pages[0])  # evicted above -> miss + second eviction
+        assert pool.evictions == 2
+
+    def test_snapshot_aggregates_pool_counters(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=1)
+        pages = [disk.allocate() for _ in range(2)]
+        for p in pages:
+            disk.write_page(p, b"p")
+        before = disk.snapshot()
+        pool.get_page(pages[0])
+        pool.get_page(pages[0])
+        pool.get_page(pages[1])  # evicts pages[0]
+        diff = disk.snapshot() - before
+        assert diff.pool_hits == 1
+        assert diff.pool_misses == 2
+        assert diff.pool_evictions == 1
+        assert diff.pool_hit_rate == pytest.approx(1 / 3)
+
     def test_pagestore_read_through_pool(self):
         disk = SimulatedDisk(page_size=16)
         store = PageStore(disk)
