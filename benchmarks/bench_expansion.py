@@ -1,0 +1,428 @@
+#!/usr/bin/env python
+"""Region-expansion benchmark harness: CSR kernel vs legacy set/heap code.
+
+Writes ``BENCH_expansion.json`` with three sections:
+
+* ``microbench`` — the in-memory expansion primitives head to head:
+  ``time_bounded_expansion`` (the Con-Index construction kernel),
+  ``slot_aware_expansion`` (the residual-carry Far top-up) and the full
+  SQMB/MQMB/reverse bounding-region builders, each timed against its
+  legacy reference from :mod:`repro.core.legacy_expansion` on a warmed
+  Con-Index (so the comparison isolates expansion work, not disk I/O);
+* ``fig41_sweep`` — a Fig 4.1(a)-style duration sweep of *end-to-end*
+  ``sqmb_tbs`` queries, run twice through the service: once on the CSR
+  kernels and once with the executors temporarily routed through the
+  legacy region builders;
+* ``batch_throughput`` — ``QueryService.run_batch`` over a mixed
+  workload: cold service vs a second pass served from the
+  service-lifetime region cache (the cross-batch sharing this PR adds),
+  plus the legacy-kernel cold batch for the kernel-only delta.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_expansion.py [--quick] [--out PATH]
+
+``--quick`` uses the reduced dataset and fewer repetitions — the CI smoke
+configuration.  Every section reports the median of ``repeat`` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+from repro.core import executors as executors_module
+from repro.core import legacy_expansion as legacy
+from repro.core.engine import ReachabilityEngine
+from repro.core.query import MQuery, SQuery
+from repro.core.service import QueryService
+from repro.core.sqmb import slot_aware_expansion, sqmb_bounding_region
+from repro.core.mqmb import mqmb_bounding_region
+from repro.core.reverse import reverse_bounding_region
+from repro.datasets.shenzhen_like import default_dataset
+from repro.eval import config
+from repro.eval.workload import QueryWorkload
+from repro.network.expansion import time_bounded_expansion
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def median_ms(fn, repeat: int) -> float:
+    """Median wall time of ``fn()`` over ``repeat`` runs, in ms."""
+    times = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        times.append((time.perf_counter() - started) * 1e3)
+    return statistics.median(times)
+
+
+def paired_median_ms(fn_a, fn_b, repeat: int) -> tuple[float, float]:
+    """Interleaved medians of two contenders, alternating who runs first
+    each repetition (robust to machine drift and cache-warmth order bias)."""
+    a_times, b_times = [], []
+    for i in range(repeat):
+        first, second = (fn_a, fn_b) if i % 2 == 0 else (fn_b, fn_a)
+        started = time.perf_counter()
+        first()
+        first_ms = (time.perf_counter() - started) * 1e3
+        started = time.perf_counter()
+        second()
+        second_ms = (time.perf_counter() - started) * 1e3
+        if i % 2 == 0:
+            a_times.append(first_ms)
+            b_times.append(second_ms)
+        else:
+            a_times.append(second_ms)
+            b_times.append(first_ms)
+    return statistics.median(a_times), statistics.median(b_times)
+
+
+def bench_micro(engine, settings, repeat: int) -> list[dict]:
+    """The expansion primitives, new vs legacy, on a warmed Con-Index."""
+    con = engine.con_index(settings.delta_t_s)
+    st = engine.st_index(settings.delta_t_s)
+    start = st.find_start_segment(settings.location)
+    m_starts = [
+        st.find_start_segment(loc) for loc in config.M_QUERY_LOCATIONS[:3]
+    ]
+    T = float(settings.start_time_s)
+    L = float(settings.duration_s)
+    # Warm every entry and travel-time vector both sides will touch, so
+    # the timings measure in-memory expansion, not lazy index builds.
+    for kind in ("far", "near"):
+        sqmb_bounding_region(con, start, T, L, kind)
+        mqmb_bounding_region(con, m_starts, T, L, kind)
+        reverse_bounding_region(con, start, T, L, kind)
+    slot = con.slot_of(T)
+    tt_vector = con.travel_time_vector("far", slot)
+    tt_list = con.travel_time_list("far", slot)
+    # The honest pre-PR baseline: per-call speed-bound probing.
+    tt_closure = legacy.travel_time_reference(con, "far", slot)
+    rows: list[dict] = []
+
+    def row(name, new_fn, old_fn):
+        new_ms, old_ms = paired_median_ms(new_fn, old_fn, repeat)
+        rows.append(
+            {
+                "name": name,
+                "csr_ms": round(new_ms, 3),
+                "legacy_ms": round(old_ms, 3),
+                "speedup": round(old_ms / new_ms, 2) if new_ms > 0 else None,
+            }
+        )
+
+    budget = float(settings.delta_t_s)
+    row(
+        "time_bounded_expansion (con-index build kernel)",
+        lambda: time_bounded_expansion(
+            engine.network, start, budget, tt_vector, cost_list=tt_list
+        ),
+        lambda: legacy.time_bounded_expansion_reference(
+            engine.network, start, budget, tt_closure
+        ),
+    )
+    # One full construction slice: every segment's Far entry for one slot,
+    # kernel + cached speed vectors vs classic expansion + per-call probing.
+    segment_ids = sorted(engine.network.segment_ids())
+
+    def build_new():
+        for segment_id in segment_ids:
+            time_bounded_expansion(
+                engine.network, segment_id, budget, tt_vector, cost_list=tt_list
+            )
+
+    def build_legacy():
+        for segment_id in segment_ids:
+            legacy.time_bounded_expansion_reference(
+                engine.network, segment_id, budget, tt_closure
+            )
+
+    row("con-index build slice (all segments, one slot)", build_new, build_legacy)
+    row(
+        "slot_aware_expansion (residual carry)",
+        lambda: slot_aware_expansion(con, [start], T, L, "far"),
+        lambda: legacy.slot_aware_expansion_reference(con, [start], T, L, "far"),
+    )
+    row(
+        "sqmb_bounding_region (far)",
+        lambda: sqmb_bounding_region(con, start, T, L, "far"),
+        lambda: legacy.sqmb_bounding_region_reference(con, start, T, L, "far"),
+    )
+    long_l = 5 * float(settings.delta_t_s)  # multi-hop regions (L = 5 Δt)
+    sqmb_bounding_region(con, start, T, long_l, "far")  # warm entries
+    row(
+        "sqmb_bounding_region (far, L=5Δt)",
+        lambda: sqmb_bounding_region(con, start, T, long_l, "far"),
+        lambda: legacy.sqmb_bounding_region_reference(con, start, T, long_l, "far"),
+    )
+    row(
+        "mqmb_bounding_region (far, 3 seeds)",
+        lambda: mqmb_bounding_region(con, m_starts, T, L, "far"),
+        lambda: legacy.mqmb_bounding_region_reference(con, m_starts, T, L, "far"),
+    )
+    row(
+        "reverse_bounding_region (far)",
+        lambda: reverse_bounding_region(con, start, T, L, "far"),
+        lambda: legacy.reverse_bounding_region_reference(con, start, T, L, "far"),
+    )
+    # The other shared hot-path primitive: time-list decode (runs once per
+    # charged page read in TBS/ES probability checks).
+    payloads = []
+    for slot in st.slots_in_window(T, T + L):
+        if st.has_entry(start, slot):
+            chain = st._directory[(start, slot)]
+            payloads.extend(
+                st._store.read(pointer, pool=st.pool) for pointer in chain
+            )
+    if payloads:
+        from repro.core.st_index import decode_time_list
+
+        row(
+            "decode_time_list (per charged read)",
+            lambda: [decode_time_list(p) for p in payloads],
+            lambda: [legacy.decode_time_list_reference(p) for p in payloads],
+        )
+    return rows
+
+
+def bench_kernel_scaling(quick: bool, repeat: int) -> list[dict]:
+    """The kernel at growing network scale (the roadmap's operating point).
+
+    Pure expansion work on synthetic grid cities with randomized speeds —
+    no trajectory data needed — comparing the CSR kernel against the
+    classic heap loop as covers grow from neighbourhood-sized to
+    city-sized.  This is where the frontier-at-a-time formulation pays:
+    the Python loop touches every cover member through the interpreter,
+    the kernel relaxes whole frontiers per numpy call.
+    """
+    import numpy as np
+
+    from repro.network.generator import grid_city
+
+    sizes = (11, 30) if quick else (11, 30, 60)
+    rows = []
+    for grid in sizes:
+        network = grid_city(
+            rows=grid, cols=grid, spacing=800.0, primary_every=4, seed=7
+        )
+        csr = network.csr()
+        rng = np.random.default_rng(3)
+        cost = csr.lengths / rng.uniform(4.0, 14.0, csr.n)
+
+        def cost_callable(segment_id: int) -> float:
+            return float(cost[csr.row_of(segment_id)])
+
+        start = int(csr.ids[csr.n // 2])
+        for budget in (1200.0, 3600.0):
+            cover = len(
+                time_bounded_expansion(network, start, budget, cost).arrival
+            )
+            csr_ms, legacy_ms = paired_median_ms(
+                lambda: time_bounded_expansion(network, start, budget, cost),
+                lambda: legacy.time_bounded_expansion_reference(
+                    network, start, budget, cost_callable
+                ),
+                repeat,
+            )
+            rows.append(
+                {
+                    "segments": csr.n,
+                    "budget_s": budget,
+                    "cover": cover,
+                    "csr_ms": round(csr_ms, 3),
+                    "legacy_ms": round(legacy_ms, 3),
+                    "speedup": round(legacy_ms / csr_ms, 2),
+                }
+            )
+    return rows
+
+
+class _LegacyKernels:
+    """Temporarily restore the pre-PR hot path: legacy region builders in
+    the executors, the per-element time-list decoder, and no decoded-record
+    cache in the built ST-Indexes."""
+
+    def __init__(self, engine):
+        self._engine = engine
+
+    def __enter__(self):
+        import repro.core.reverse as reverse_module
+        import repro.core.st_index as st_index_module
+
+        self._saved = (
+            executors_module.sqmb_bounding_region,
+            executors_module.mqmb_bounding_region,
+            reverse_module.reverse_bounding_region,
+            st_index_module.decode_time_list,
+        )
+        executors_module.sqmb_bounding_region = (
+            legacy.sqmb_bounding_region_reference
+        )
+        executors_module.mqmb_bounding_region = (
+            legacy.mqmb_bounding_region_reference
+        )
+        reverse_module.reverse_bounding_region = (
+            legacy.reverse_bounding_region_reference
+        )
+        st_index_module.decode_time_list = legacy.decode_time_list_reference
+        self._record_caches = [
+            (index, index.record_cache_size)
+            for index in self._engine._st_indexes.values()
+        ]
+        for index, _ in self._record_caches:
+            index.record_cache_size = 0
+        return self
+
+    def __exit__(self, *exc):
+        import repro.core.reverse as reverse_module
+        import repro.core.st_index as st_index_module
+
+        (
+            executors_module.sqmb_bounding_region,
+            executors_module.mqmb_bounding_region,
+            reverse_module.reverse_bounding_region,
+            st_index_module.decode_time_list,
+        ) = self._saved
+        for index, size in self._record_caches:
+            index.record_cache_size = size
+        return False
+
+
+def bench_fig41_sweep(engine, settings, durations_s, repeat: int) -> list[dict]:
+    """End-to-end sqmb_tbs queries over durations, CSR vs legacy kernels."""
+    service = QueryService(engine, delta_t_s=settings.delta_t_s)
+    rows = []
+    for duration_s in durations_s:
+        query = SQuery(
+            settings.location, settings.start_time_s, duration_s, settings.prob
+        )
+
+        def run():
+            return service.query(
+                query, algorithm="sqmb_tbs", delta_t_s=settings.delta_t_s
+            )
+
+        def run_legacy():
+            with _LegacyKernels(service.engine):
+                return run()
+
+        run()  # warm the con-index entries for this duration
+        run_legacy()
+        csr_ms, legacy_ms = paired_median_ms(run, run_legacy, repeat)
+        check = run()
+        check_legacy = run_legacy()
+        assert check.segments == check_legacy.segments, "kernel changed results"
+        rows.append(
+            {
+                "duration_min": duration_s // 60,
+                "csr_ms": round(csr_ms, 3),
+                "legacy_ms": round(legacy_ms, 3),
+                "speedup": round(legacy_ms / csr_ms, 2) if csr_ms > 0 else None,
+            }
+        )
+    return rows
+
+
+def bench_batch_throughput(engine, settings, batch_size: int, repeat: int) -> dict:
+    """run_batch over a mixed workload: legacy vs CSR, cold vs warm cache."""
+    workload = QueryWorkload(engine.network, seed=17)
+    batch: list[SQuery | MQuery] = workload.mixed_batch(
+        batch_size, max(1, batch_size // 4), start_time_s=settings.start_time_s
+    )
+
+    def run_cold():
+        service = QueryService(engine, delta_t_s=settings.delta_t_s)
+        return service.run_batch(batch, delta_t_s=settings.delta_t_s)
+
+    def run_cold_legacy():
+        with _LegacyKernels(engine):
+            return run_cold()
+
+    run_cold()  # warm con-index entries / time lists on disk
+    run_cold_legacy()
+    csr_cold_ms, legacy_cold_ms = paired_median_ms(
+        run_cold, run_cold_legacy, repeat
+    )
+    # Cross-batch sharing: one service, same workload again — regions come
+    # from the service-lifetime cache.
+    service = QueryService(engine, delta_t_s=settings.delta_t_s)
+    first = service.run_batch(batch, delta_t_s=settings.delta_t_s)
+
+    def run_warm():
+        return service.run_batch(batch, delta_t_s=settings.delta_t_s)
+
+    cold_ref_ms, warm_ms = paired_median_ms(run_cold, run_warm, repeat)
+    warm_report = service.run_batch(batch, delta_t_s=settings.delta_t_s)
+    return {
+        "batch_queries": len(batch),
+        "legacy_cold_ms": round(legacy_cold_ms, 3),
+        "csr_cold_ms": round(csr_cold_ms, 3),
+        "csr_warm_cache_ms": round(warm_ms, 3),
+        "cold_speedup_vs_legacy": round(legacy_cold_ms / csr_cold_ms, 2),
+        "warm_speedup_vs_cold": round(cold_ref_ms / warm_ms, 2),
+        "queries_per_s_cold": round(len(batch) / (csr_cold_ms / 1e3), 1),
+        "queries_per_s_warm": round(len(batch) / (warm_ms / 1e3), 1),
+        "first_batch_regions_computed": first.regions_computed,
+        "warm_batch_regions_computed": warm_report.regions_computed,
+        "warm_batch_regions_reused": warm_report.regions_reused,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced dataset and repetitions (CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_expansion.json",
+        help="output JSON path (default: repo-root BENCH_expansion.json)",
+    )
+    args = parser.parse_args()
+    settings = config.SMALL_SETTINGS if args.quick else config.DEFAULT_SETTINGS
+    repeat = 3 if args.quick else 7
+    durations = (300, 600, 900) if args.quick else (300, 600, 900, 1200, 1500)
+    batch_size = 8 if args.quick else 16
+
+    started = time.perf_counter()
+    print(f"building dataset ({'quick' if args.quick else 'full'}) ...")
+    dataset = default_dataset(settings.dataset)
+    engine = ReachabilityEngine(dataset.network, dataset.database)
+    engine.st_index(settings.delta_t_s)
+    print(f"dataset ready in {time.perf_counter() - started:.1f}s; benchmarking ...")
+
+    micro = bench_micro(engine, settings, repeat)
+    scaling = bench_kernel_scaling(args.quick, repeat)
+    sweep = bench_fig41_sweep(engine, settings, durations, repeat)
+    throughput = bench_batch_throughput(engine, settings, batch_size, repeat)
+
+    report = {
+        "benchmark": "region-expansion CSR kernel + service-lifetime region cache",
+        "mode": "quick" if args.quick else "full",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "dataset": {
+            "segments": engine.network.num_segments,
+            "trajectories": len(engine.database),
+            "delta_t_s": settings.delta_t_s,
+        },
+        "microbench": micro,
+        "kernel_scaling": scaling,
+        "fig41_sweep": sweep,
+        "batch_throughput": throughput,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

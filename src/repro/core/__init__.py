@@ -20,9 +20,13 @@ Query-service layers (planner -> executors -> storage):
   algorithm family, extensible via ``@register_executor``.
 * :mod:`~repro.core.engine` — index-owning :class:`ReachabilityEngine`
   with the classic one-query facade.
+* :mod:`~repro.core.region_cache` — the thread-safe, service-lifetime
+  bounding-region LRU shared across batches.
 * :mod:`~repro.core.service` — batch-capable :class:`QueryService`
   (bounding-region dedup, warm pools, worker pool).
 * :mod:`~repro.core.explain` — ``EXPLAIN``-style plan + cost rendering.
+* :mod:`~repro.core.legacy_expansion` — pre-kernel reference
+  implementations (equivalence tests and benchmark baselines).
 """
 
 from repro.core.query import (
@@ -57,6 +61,7 @@ from repro.core.executors import (
 )
 from repro.core.planner import QueryPlan, plan_query
 from repro.core.engine import ReachabilityEngine
+from repro.core.region_cache import RegionCache
 from repro.core.service import BatchReport, QueryService, as_service
 
 __all__ = [
@@ -70,6 +75,7 @@ __all__ = [
     "register_executor",
     "QueryService",
     "BatchReport",
+    "RegionCache",
     "as_service",
     "SQuery",
     "MQuery",

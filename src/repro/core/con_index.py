@@ -21,6 +21,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Literal
 
+import numpy as np
+
 from repro.network.expansion import time_bounded_expansion
 from repro.network.model import RoadNetwork
 from repro.storage.disk import SimulatedDisk
@@ -45,6 +47,22 @@ class FrontierEntry:
 
     frontier: tuple[int, ...]
     cover: frozenset[int]
+
+    def cover_ids(self) -> np.ndarray:
+        """The cover as a sorted ``int64`` id array (cached per entry).
+
+        The SQMB/MQMB step loops union entry covers into boolean row
+        masks; materialising the array once per decoded entry keeps that
+        union a single fancy-index store instead of a per-id set insert.
+        """
+        cached = getattr(self, "_cover_ids", None)
+        if cached is None:
+            cached = np.fromiter(
+                self.cover, dtype=np.int64, count=len(self.cover)
+            )
+            cached.sort()
+            object.__setattr__(self, "_cover_ids", cached)
+        return cached
 
 
 def encode_entry(entry: FrontierEntry) -> bytes:
@@ -151,41 +169,104 @@ class ConnectionIndex:
         self._segment_length = {
             sid: network.segment(sid).length for sid in network.segment_ids()
         }
+        self._tt_vectors: dict[tuple[bool, int], np.ndarray] = {}
+        self._tt_lists: dict[tuple[bool, int], list[float]] = {}
+        self._tt_csr = None  # the CSR view the cached vectors were built for
         self.expansions = 0  # construction-side counter, for ablations
 
     # -- slot helpers -------------------------------------------------------
 
     def slot_of(self, time_s: float) -> int:
-        t = min(max(0.0, time_s), SECONDS_PER_DAY - 1)
-        return int(t // self.delta_t_s)
+        """The slot containing ``time_s``, wrapping modulo one day.
+
+        Time-of-day is cyclic: a query hop that crosses midnight continues
+        in the first slots of the (next) day rather than clamping at the
+        last slot — the same wrap-around the residual-carry expansion has
+        always used, so the memoized entry hops and the top-up now agree
+        near midnight.
+        """
+        t = float(time_s) % SECONDS_PER_DAY
+        return min(int(t // self.delta_t_s), self.num_slots - 1)
 
     def _slot_mid_time(self, slot: int) -> float:
         return (slot % self.num_slots) * self.delta_t_s + self.delta_t_s / 2.0
 
+    def slot_hour(self, slot: int) -> int:
+        """The hour-of-day whose speed statistics govern ``slot``.
+
+        Entries and travel-time vectors are fully determined by
+        ``(segment, kind, slot_hour(slot))`` because the database's speed
+        bounds are hourly — the fact the hop loops exploit to skip
+        re-expanding segments across same-hour steps.
+        """
+        return int(self._slot_mid_time(slot) // 3600) % 24
+
     # -- speed models ----------------------------------------------------------
 
-    def travel_time(self, kind: Kind, slot: int):
-        """Per-segment traversal seconds under the slot's min/max speeds.
+    def travel_time_vector(self, kind: Kind, slot: int) -> np.ndarray:
+        """Per-CSR-row traversal seconds under the slot's min/max speeds.
 
         Segments with no historical observations in (or near) the slot's
-        hour are impassable: a data-driven index cannot vouch for roads no
-        trajectory ever used.  This is the speed model entry construction
-        expands with; :mod:`~repro.core.sqmb` also consults it directly
-        for the residual-carry supplement of the Far bound.
+        hour are impassable (``inf``): a data-driven index cannot vouch
+        for roads no trajectory ever used.  Speed bounds are hourly, so
+        the vector is cached per ``(far/near, hour)`` — at most 48 arrays
+        serve every slot of the day — and every expansion (entry
+        construction and the residual-carry top-up alike) is a pure numpy
+        gather against it.
         """
-        mid_time = self._slot_mid_time(slot)
-        bounds_of = self.database.observed_speed_bounds
-        lengths = self._segment_length
+        csr = self.network.csr()
+        if csr is not self._tt_csr:
+            # Topology changed (the network rebuilt its CSR view): cached
+            # cost vectors have the old row count and must be rebuilt.
+            self._tt_vectors.clear()
+            self._tt_lists.clear()
+            self._tt_csr = csr
+        hour = self.slot_hour(slot)
         pick_max = kind.startswith("far")
+        key = (pick_max, hour)
+        vector = self._tt_vectors.get(key)
+        if vector is None:
+            bounds_of = self.database.observed_speed_bounds
+            probe_time = hour * 3600.0
+            speeds = np.zeros(csr.n, dtype=np.float64)
+            for row, segment_id in enumerate(csr.ids.tolist()):
+                bounds = bounds_of(segment_id, probe_time)
+                if bounds is not None:
+                    speeds[row] = bounds[1] if pick_max else bounds[0]
+            vector = np.full(csr.n, float("inf"))
+            positive = speeds > 0
+            vector[positive] = csr.lengths[positive] / speeds[positive]
+            self._tt_vectors[key] = vector
+        return vector
+
+    def travel_time_list(self, kind: Kind, slot: int) -> list[float]:
+        """:meth:`travel_time_vector` as a plain Python list (cached).
+
+        The expansion kernels' scalar fast path walks costs in a Python
+        loop; handing it a ready-made list avoids a per-expansion
+        ``tolist`` conversion.
+        """
+        # Resolving the vector first also validates the CSR view (stale
+        # caches are cleared there when the topology changed).
+        vector = self.travel_time_vector(kind, slot)
+        key = (kind.startswith("far"), self.slot_hour(slot))
+        values = self._tt_lists.get(key)
+        if values is None:
+            values = vector.tolist()
+            self._tt_lists[key] = values
+        return values
+
+    def travel_time(self, kind: Kind, slot: int):
+        """Per-segment traversal seconds as a callable (classic interface).
+
+        Reads from :meth:`travel_time_vector`, so both interfaces always
+        agree on the speed model.
+        """
+        vector = self.travel_time_vector(kind, slot)
+        csr = self.network.csr()
 
         def travel_time(segment_id: int) -> float:
-            bounds = bounds_of(segment_id, mid_time)
-            if bounds is None:
-                return float("inf")
-            speed = bounds[1] if pick_max else bounds[0]
-            if speed <= 0:
-                return float("inf")
-            return lengths[segment_id] / speed
+            return float(vector[csr.row_of(segment_id)])
 
         return travel_time
 
@@ -219,18 +300,41 @@ class ConnectionIndex:
         return self.entry(segment_id, slot, "near")
 
     def _compute(self, segment_id: int, slot: int, kind: Kind) -> FrontierEntry:
+        from repro.network import csr as csr_module
+
         self.expansions += 1
+        # The Python cost list only feeds the scalar fast path; on larger
+        # networks the kernel runs pure-vector and the list would be
+        # built (and cached, 48x n floats) for nothing.
+        scalar_path = self.network.csr().n <= csr_module.SCALAR_PATH_MAX_N
         result = time_bounded_expansion(
             self.network,
             segment_id,
             float(self.delta_t_s),
-            self.travel_time(kind, slot),
+            self.travel_time_vector(kind, slot),
             reverse=kind.endswith("_rev"),
+            cost_list=(
+                self.travel_time_list(kind, slot) if scalar_path else None
+            ),
         )
         return FrontierEntry(
             frontier=tuple(sorted(result.frontier)),
             cover=frozenset(result.arrival),
         )
+
+    def invalidate_entries(self) -> None:
+        """Discard memoized entries and speed vectors (data changed).
+
+        Called when new trajectory data lands in the database: the
+        Near/Far tables derive from observed speed bounds, so previously
+        materialised entries may no longer be faithful.  Entries rebuild
+        lazily on next access; the old on-disk records are simply
+        abandoned (the simulated page store is append-only).
+        """
+        self._directory.clear()
+        self._decoded.clear()
+        self._tt_vectors.clear()
+        self._tt_lists.clear()
 
     # -- bulk construction ---------------------------------------------------------
 

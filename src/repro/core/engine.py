@@ -17,6 +17,8 @@ I/O, probability checks) the evaluation chapter reports.
 
 from __future__ import annotations
 
+import weakref
+
 from repro.core.con_index import ConnectionIndex
 from repro.core.executors import execute_plan, executor_names
 from repro.core.planner import plan_query
@@ -72,6 +74,27 @@ class ReachabilityEngine:
         self.buffer_pool_pages = buffer_pool_pages
         self._st_indexes: dict[int, STIndex] = {}
         self._con_indexes: dict[int, ConnectionIndex] = {}
+        self._data_change_hooks: list = []
+
+    def register_data_change_hook(self, callback) -> None:
+        """Call ``callback`` whenever engine-level data/indexes change.
+
+        Services register their region-cache invalidation here (via a
+        weak reference, so registering does not pin a service alive), so
+        derived caches stay correct even when trajectories are appended
+        or indexes dropped directly on the engine rather than through one
+        particular service.
+        """
+        self._data_change_hooks.append(weakref.WeakMethod(callback))
+
+    def _notify_data_change(self) -> None:
+        live = []
+        for hook in self._data_change_hooks:
+            callback = hook()
+            if callback is not None:
+                callback()
+                live.append(hook)
+        self._data_change_hooks = live
 
     # -- index management ------------------------------------------------------
 
@@ -102,6 +125,53 @@ class ReachabilityEngine:
             )
             self._con_indexes[delta_t_s] = index
         return index
+
+    def drop_indexes(self, delta_t_s: int | None = None) -> None:
+        """Discard built indexes so they rebuild lazily on next use.
+
+        Args:
+            delta_t_s: drop only this granularity's pair, or every built
+                index when omitted.
+        """
+        if delta_t_s is None:
+            self._st_indexes.clear()
+            self._con_indexes.clear()
+        else:
+            self._st_indexes.pop(delta_t_s, None)
+            self._con_indexes.pop(delta_t_s, None)
+        self._notify_data_change()
+
+    def append_trajectories(
+        self, trajectories, update_database: bool = True
+    ) -> int:
+        """Incrementally ingest new matched trajectories.
+
+        Every built ST-Index gains the new time-list records (chained,
+        merged at read time — no rebuild), and each built Con-Index drops
+        its memoized entries and speed vectors, because the Near/Far
+        tables derive from the database's observed speed bounds.
+
+        Args:
+            trajectories: iterable of
+                :class:`~repro.trajectory.model.MatchedTrajectory`.
+            update_database: also add the trajectories to the engine's
+                database (pass ``False`` when the caller already did).
+
+        Returns:
+            (segment, slot) entries touched across the built ST-Indexes.
+        """
+        trajectory_list = list(trajectories)
+        if update_database:
+            for trajectory in trajectory_list:
+                self.database.add(trajectory)
+        touched = 0
+        for index in self._st_indexes.values():
+            touched += index.append_trajectories(trajectory_list)
+        if trajectory_list:
+            for con in self._con_indexes.values():
+                con.invalidate_entries()
+            self._notify_data_change()
+        return touched
 
     def buffer_pools(self):
         """Every live buffer pool, for cache-effectiveness reporting."""

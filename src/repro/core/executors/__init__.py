@@ -23,12 +23,14 @@ Built-in families:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.mqmb import mqmb_bounding_region
 from repro.core.query import BoundingRegion, MQuery, QueryCost, QueryResult, SQuery
+from repro.core.region_cache import RegionCache
 from repro.core.sqmb import sqmb_bounding_region
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -101,29 +103,38 @@ class ExecutionContext:
     """Shared resources for one execution (or one batch of executions).
 
     Owns no indexes — it resolves them through the engine — but carries the
-    per-batch state the :class:`~repro.core.service.QueryService` shares
-    across queries: the bounding-region dedup cache and its hit counters.
+    state the :class:`~repro.core.service.QueryService` shares across
+    queries: the bounding-region dedup cache (a service-lifetime
+    :class:`~repro.core.region_cache.RegionCache`, so regions are shared
+    across batches, not just within one) and this execution's hit
+    counters.
+
+    The counters are guarded by a lock and the cache deduplicates
+    concurrent computations, so under ``max_workers > 1`` every
+    ``bounding_region`` call is counted exactly once and no region is
+    expanded twice.
 
     Args:
         engine: the index-owning engine.
         delta_t_s: index granularity for this execution.
-        region_cache: optional shared ``key -> BoundingRegion`` map; when
-            given, identical bounding-region computations across queries
-            are performed once (the batch dedup of §3.3's motivation:
-            nearby queries share most of their bounds).
+        region_cache: optional shared :class:`RegionCache`; when given,
+            identical bounding-region computations across queries (and
+            batches) are performed once (the batch dedup of §3.3's
+            motivation: nearby queries share most of their bounds).
     """
 
     def __init__(
         self,
         engine: "ReachabilityEngine",
         delta_t_s: int,
-        region_cache: dict | None = None,
+        region_cache: RegionCache | None = None,
     ) -> None:
         self.engine = engine
         self.delta_t_s = delta_t_s
         self.region_cache = region_cache
         self.regions_computed = 0
         self.regions_reused = 0
+        self._stats_lock = threading.Lock()
 
     # -- resource access -----------------------------------------------------
 
@@ -161,38 +172,46 @@ class ExecutionContext:
         """Compute (or reuse) a bounding region.
 
         The cache key is exact: a region depends only on the strategy, the
-        seed segments, the slot sequence (start slot + hop count) and the
-        Near/Far kind — so two queries in the same Δt slot with the same
-        seeds share their bounds regardless of sub-slot start time or
-        probability threshold.
+        seed segments, the slot sequence (start slot + hop count), the
+        Near/Far kind and the index granularity — so two queries in the
+        same Δt slot with the same seeds share their bounds regardless of
+        sub-slot start time or probability threshold, across batches.
         """
         con = self.con_index()
         steps = max(1, int(duration_s // self.delta_t_s))
-        key = (strategy, seeds, con.slot_of(start_time_s), steps, kind)
-        if self.region_cache is not None:
-            cached = self.region_cache.get(key)
-            if cached is not None:
-                self.regions_reused += 1
-                return cached
-        if strategy == "sqmb":
-            region = sqmb_bounding_region(
-                con, seeds[0], start_time_s, duration_s, kind
-            )
-        elif strategy == "mqmb":
-            region = mqmb_bounding_region(
-                con, list(seeds), start_time_s, duration_s, kind
-            )
-        elif strategy == "reverse":
-            from repro.core.reverse import reverse_bounding_region
 
-            region = reverse_bounding_region(
-                con, seeds[0], start_time_s, duration_s, kind
-            )
-        else:
+        def compute() -> BoundingRegion:
+            if strategy == "sqmb":
+                return sqmb_bounding_region(
+                    con, seeds[0], start_time_s, duration_s, kind
+                )
+            if strategy == "mqmb":
+                return mqmb_bounding_region(
+                    con, list(seeds), start_time_s, duration_s, kind
+                )
+            if strategy == "reverse":
+                from repro.core.reverse import reverse_bounding_region
+
+                return reverse_bounding_region(
+                    con, seeds[0], start_time_s, duration_s, kind
+                )
             raise ValueError(f"unknown bounding strategy {strategy!r}")
-        self.regions_computed += 1
-        if self.region_cache is not None:
-            self.region_cache[key] = region
+
+        if self.region_cache is None:
+            region = compute()
+            with self._stats_lock:
+                self.regions_computed += 1
+            return region
+        key = (
+            strategy, seeds, con.slot_of(start_time_s), steps, kind,
+            self.delta_t_s,
+        )
+        region, reused = self.region_cache.get_or_compute(key, compute)
+        with self._stats_lock:
+            if reused:
+                self.regions_reused += 1
+            else:
+                self.regions_computed += 1
         return region
 
     # -- nested execution ------------------------------------------------------

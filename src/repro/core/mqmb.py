@@ -9,17 +9,35 @@ nearest one, per the §3.3.2 elimination rule (``rs = argmin dis(r', b)``)
 regions overlap it.  The result is the outer-most boundary of the merged
 bounding regions (Fig. 3.6b), at roughly the cost of the largest single
 bounding region instead of the sum of all of them.
+
+Like SQMB, the cover lives in a boolean CSR row mask and the per-step
+entry unions are fancy-index stores; the nearest-seed claiming runs as one
+``argmin`` over a (new segments × seeds) midpoint-distance matrix per step
+instead of a Python ``min`` per segment.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.con_index import ConnectionIndex, Kind
 from repro.core.query import BoundingRegion
 from repro.core.sqmb import (
+    _boundary_id_set,
+    _entry_hops,
+    _slot_expansion_dist,
     close_under_twins,
     region_boundary,
     slot_aware_expansion,
 )
+from repro.network.csr import close_twins_mask
+
+__all__ = [
+    "mqmb_bounding_region",
+    "close_under_twins",
+    "region_boundary",
+    "slot_aware_expansion",
+]
 
 
 def mqmb_bounding_region(
@@ -45,67 +63,77 @@ def mqmb_bounding_region(
     """
     if not start_segments:
         raise ValueError("m-query needs at least one start segment")
-    network = con_index.network
+    csr = con_index.network.csr()
     seeds = list(dict.fromkeys(start_segments))  # preserve order, dedupe
     delta_t = con_index.delta_t_s
+    start_slot = con_index.slot_of(start_time_s)
     steps = max(1, int(duration_s // delta_t))
-    midpoints = {
-        seed: network.segment(seed).midpoint for seed in seeds
-    }
+    seed_rows = csr.rows_of(seeds)
+    seed_x = csr.mid_x[seed_rows]
+    seed_y = csr.mid_y[seed_rows]
 
-    def nearest_seed(segment_id: int) -> int:
-        mid = network.segment(segment_id).midpoint
-        return min(seeds, key=lambda seed: midpoints[seed].distance_to(mid))
+    def claim(rows: np.ndarray) -> np.ndarray:
+        """Nearest-seed index per row (ties to the earliest seed, like the
+        classic per-segment ``min`` over the seed list)."""
+        if len(seeds) == 1 or rows.size == 0:
+            return np.zeros(rows.size, dtype=np.int64)
+        distance = np.hypot(
+            csr.mid_x[rows, None] - seed_x[None, :],
+            csr.mid_y[rows, None] - seed_y[None, :],
+        )
+        return np.argmin(distance, axis=1)
 
-    # seed_of implements the overlap elimination: each covered segment is
+    # claimed_by implements the overlap elimination: each covered segment is
     # claimed once, by its nearest seed, and expanded once per step on that
     # seed's behalf — never once per overlapping region.
-    seed_of: dict[int, int] = {seed: seed for seed in seeds}
-    if len(seeds) > 1:
-        for seed in seeds:
-            seed_of[seed] = nearest_seed(seed)
-    cover: set[int] = set(seeds)
+    claimed_by = np.full(csr.n, -1, dtype=np.int64)
+    claimed_by[seed_rows] = claim(seed_rows)
+    cover = np.zeros(csr.n, dtype=bool)
+    cover[seed_rows] = True
     # Both carriageways of each seed road start the expansion.
-    for seed in seeds:
-        twin = network.segment(seed).twin_id
-        if twin is not None and network.has_segment(twin):
-            cover.add(twin)
-            seed_of.setdefault(twin, seed_of[seed])
-    expansion_seeds = sorted(cover)
-    for step in range(steps):
-        slot = con_index.slot_of(start_time_s + step * delta_t)
-        additions: set[int] = set()
-        for segment_id in cover:
-            entry = con_index.entry(segment_id, slot, kind)
-            additions |= entry.cover
-        additions -= cover
-        for segment_id in additions:
-            seed_of[segment_id] = (
-                nearest_seed(segment_id) if len(seeds) > 1 else seeds[0]
-            )
-        cover |= additions
+    for row in seed_rows.tolist():
+        twin_row = int(csr.twin_row[row])
+        if twin_row >= 0:
+            cover[twin_row] = True
+            if claimed_by[twin_row] < 0:
+                claimed_by[twin_row] = claimed_by[row]
+    expansion_seed_rows = np.flatnonzero(cover)
+    _entry_hops(con_index, csr, cover, start_slot, steps, kind)
     if kind == "far":
         # Residual-carry top-up (see sqmb.slot_aware_expansion): the upper
         # bound must also cross segments slower than one Δt slot.
-        carried = (
-            slot_aware_expansion(
-                con_index, expansion_seeds, start_time_s,
-                steps * delta_t, kind,
-            )
-            - cover
+        dist = _slot_expansion_dist(
+            con_index, csr, expansion_seed_rows, start_time_s,
+            steps * delta_t, kind,
         )
-        for segment_id in carried:
-            seed_of[segment_id] = (
-                nearest_seed(segment_id) if len(seeds) > 1 else seeds[0]
-            )
-        cover |= carried
-    close_under_twins(network, cover)
-    for segment_id in list(cover):
-        if segment_id not in seed_of:
-            twin = network.segment(segment_id).twin_id
-            seed_of[segment_id] = seed_of.get(twin, seeds[0])
+        cover |= np.isfinite(dist)
+    # claim() depends only on the row (nearest seed by midpoint), not on
+    # which step covered it, so every newly covered segment is claimed in
+    # one batch — before the road-level closure, whose twins inherit.
+    new_rows = np.flatnonzero(cover & (claimed_by < 0))
+    claimed_by[new_rows] = claim(new_rows)
+    close_twins_mask(csr, cover)
+    # Twins added by the road-level closure inherit their carriageway's
+    # seed (falling back to the first seed, as the classic code did).
+    unclaimed = np.flatnonzero(cover & (claimed_by < 0))
+    for row in unclaimed.tolist():
+        twin_row = int(csr.twin_row[row])
+        if twin_row >= 0 and claimed_by[twin_row] >= 0:
+            claimed_by[row] = claimed_by[twin_row]
+        else:
+            claimed_by[row] = 0
+    cover_rows = np.flatnonzero(cover)
+    cover_id_list = csr.ids_of(cover_rows).tolist()
+    cover_ids = set(cover_id_list)
+    boundary = _boundary_id_set(csr, cover, cover_ids)
+    seed_of = {
+        segment_id: seeds[seed_index]
+        for segment_id, seed_index in zip(
+            cover_id_list, claimed_by[cover_rows].tolist()
+        )
+    }
     return BoundingRegion(
-        cover=cover,
-        boundary=region_boundary(network, cover),
+        cover=cover_ids,
+        boundary=boundary,
         seed_of=seed_of,
     )

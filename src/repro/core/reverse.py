@@ -21,16 +21,15 @@ The machinery mirrors the forward query with the direction flipped:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.baseline import ExhaustiveResult, exhaustive_search
 from repro.core.con_index import ConnectionIndex
 from repro.core.probability import DEPARTURE_WINDOW_S
 from repro.core.query import BoundingRegion
-from repro.core.sqmb import (
-    close_under_twins,
-    region_boundary,
-    slot_aware_expansion,
-)
+from repro.core.sqmb import _boundary_id_set, _entry_hops, _slot_expansion_dist
 from repro.core.st_index import STIndex
+from repro.network.csr import close_twins_mask
 from repro.network.model import RoadNetwork
 
 
@@ -154,32 +153,33 @@ def reverse_bounding_region(
     if kind not in ("far", "near"):
         raise ValueError(f"kind must be 'far' or 'near', got {kind!r}")
     reverse_kind = f"{kind}_rev"
-    network = con_index.network
+    csr = con_index.network.csr()
     delta_t = con_index.delta_t_s
+    start_slot = con_index.slot_of(start_time_s)
     steps = max(1, int(duration_s // delta_t))
-    cover: set[int] = {target_segment}
-    twin = network.segment(target_segment).twin_id
-    if twin is not None and network.has_segment(twin):
-        cover.add(twin)
-    seeds = sorted(cover)
-    for step in range(steps):
-        slot = con_index.slot_of(start_time_s + step * delta_t)
-        additions: set[int] = set()
-        for segment_id in cover:
-            entry = con_index.entry(segment_id, slot, reverse_kind)
-            additions |= entry.cover
-        cover |= additions
+    cover = np.zeros(csr.n, dtype=bool)
+    seed_rows = [csr.row_of(target_segment)]
+    twin_row = int(csr.twin_row[seed_rows[0]])
+    if twin_row >= 0:
+        seed_rows.append(twin_row)
+    seed_rows = np.array(sorted(seed_rows), dtype=np.int64)
+    cover[seed_rows] = True
+    _entry_hops(con_index, csr, cover, start_slot, steps, reverse_kind)
     if kind == "far":
         # Residual-carry top-up (see sqmb.slot_aware_expansion): the upper
         # bound must also cross segments slower than one Δt slot.
-        cover |= slot_aware_expansion(
-            con_index, seeds, start_time_s, steps * delta_t, reverse_kind
+        dist = _slot_expansion_dist(
+            con_index, csr, seed_rows, start_time_s, steps * delta_t,
+            reverse_kind,
         )
-    close_under_twins(network, cover)
+        cover |= np.isfinite(dist)
+    close_twins_mask(csr, cover)
+    cover_ids = csr.mask_to_id_set(cover)
+    boundary = _boundary_id_set(csr, cover, cover_ids, reverse=True)
     return BoundingRegion(
-        cover=cover,
-        boundary=region_boundary(network, cover, reverse=True),
-        seed_of={segment_id: target_segment for segment_id in cover},
+        cover=cover_ids,
+        boundary=boundary,
+        seed_of={segment_id: target_segment for segment_id in cover_ids},
     )
 
 

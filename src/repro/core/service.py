@@ -7,7 +7,10 @@ multi-user workload shares:
 
 * **bounding-region dedup** — queries whose seeds fall in the same
   segments and Δt slot share their SQMB/MQMB/reverse bounding regions
-  through one per-batch cache instead of re-expanding the Con-Index;
+  through one *service-lifetime* LRU
+  (:class:`~repro.core.region_cache.RegionCache`) instead of
+  re-expanding the Con-Index — shared across batches, invalidated
+  explicitly when trajectory data is appended or indexes rebuilt;
 * **warm buffer pools** — the batch pays one cold start, then every
   later query reads time-list pages the earlier ones already pulled in;
 * **plan reuse** — identically-shaped queries share one frozen
@@ -32,6 +35,7 @@ from repro.core.engine import ReachabilityEngine
 from repro.core.executors import ExecutionContext, execute_plan
 from repro.core.planner import QueryPlan, plan_query
 from repro.core.query import MQuery, QueryResult, SQuery
+from repro.core.region_cache import RegionCache
 from repro.storage.disk import DiskStats
 
 #: Default algorithm per query kind (the paper's methods).
@@ -106,13 +110,51 @@ class QueryService:
         engine: the index-owning engine queries run against.
         delta_t_s: default index granularity Δt for queries that do not
             specify one.
+        region_cache_capacity: LRU capacity of the service-lifetime
+            bounding-region cache shared across batches.
     """
 
     def __init__(
-        self, engine: ReachabilityEngine, delta_t_s: int = 300
+        self,
+        engine: ReachabilityEngine,
+        delta_t_s: int = 300,
+        region_cache_capacity: int = 1024,
     ) -> None:
         self.engine = engine
         self.delta_t_s = delta_t_s
+        self.region_cache = RegionCache(region_cache_capacity)
+        # Every service over this engine hears about data changes, so a
+        # direct engine-level append_trajectories/drop_indexes invalidates
+        # this cache too (weakly registered: the engine does not pin the
+        # service alive).
+        engine.register_data_change_hook(self.region_cache.invalidate)
+
+    # -- data lifecycle ----------------------------------------------------
+
+    def append_trajectories(self, trajectories, update_database: bool = True) -> int:
+        """Ingest new matched trajectories and invalidate derived caches.
+
+        Appends to every built ST-Index (and, by default, the trajectory
+        database whose speed statistics feed the Con-Index), then drops
+        the bounding-region caches of *every* service registered on the
+        engine plus the Con-Index's memoized entries: regions computed
+        from pre-append speed models must not be served for post-append
+        queries.
+
+        Returns the number of (segment, slot) entries touched across the
+        built ST-Indexes.
+        """
+        return self.engine.append_trajectories(
+            trajectories, update_database=update_database
+        )
+
+    def rebuild_indexes(self, delta_t_s: int | None = None) -> None:
+        """Drop built indexes (they rebuild lazily) and cached regions."""
+        self.engine.drop_indexes(delta_t_s)
+
+    def invalidate_regions(self) -> None:
+        """Explicitly drop every cached bounding region."""
+        self.region_cache.invalidate()
 
     # -- planning ----------------------------------------------------------
 
@@ -192,7 +234,7 @@ class QueryService:
         report = BatchReport()
         if not query_list:
             return report
-        plan_cache: dict[tuple, QueryPlan] = {}
+        plan_cache: dict[QueryPlan, QueryPlan] = {}
         for query in query_list:
             resolved_kind = kind if kind is not None else kind_of(query)
             algo = (
@@ -215,7 +257,9 @@ class QueryService:
         self.engine.st_index(dt)
         if any(plan.uses_con_index for plan in report.plans):
             self.engine.con_index(dt)
-        context = ExecutionContext(self.engine, dt, region_cache={})
+        context = ExecutionContext(
+            self.engine, dt, region_cache=self.region_cache
+        )
         if not warm:
             self.engine.invalidate_caches()
         before = self.engine.disk.snapshot()

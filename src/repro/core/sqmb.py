@@ -13,14 +13,32 @@ the set of cover segments with at least one successor outside the cover.
 No trajectory time lists are touched here: the whole point is that the
 bounding region comes straight out of the Con-Index, skipping the disk
 reads an exhaustive expansion would pay near the start location.
+
+Slot progression is *relative* and cyclic: hop ``k`` uses slot
+``(slot_of(T) + k) mod num_slots``, the same wrap-around the residual
+carry has always applied — time-of-day wraps at midnight rather than
+clamping at the day's last slot, so a query near midnight sees one
+consistent speed model.
+
+The in-memory work runs on the CSR kernels of :mod:`repro.network.csr`:
+covers are boolean row masks, per-step entry unions are fancy-index
+stores, and the residual carry is the slot-phased vectorized expansion.
+The classic set/heap implementations live on in
+:mod:`repro.core.legacy_expansion` as the equivalence baseline.
 """
 
 from __future__ import annotations
 
-import heapq
+import numpy as np
 
 from repro.core.con_index import ConnectionIndex, Kind
 from repro.core.query import BoundingRegion
+from repro.network.csr import (
+    CSRGraph,
+    close_twins_mask,
+    cover_boundary_mask,
+    expand_slotted,
+)
 from repro.network.model import RoadNetwork
 
 
@@ -39,54 +57,56 @@ def slot_aware_expansion(
     progress is lost.  On networks with long segments and a fine index
     (e.g. Δt = 1 min on 800 m segments) that silently clips the *maximum*
     bounding region — an upper bound that under-covers makes trace-back
-    miss truly reachable segments.  This Dijkstra carries residual
+    miss truly reachable segments.  This expansion carries residual
     progress across slot boundaries (the traversal cost of each segment is
     taken from the slot the traveller is in when entering it); its cover
     is unioned into the Far bound, so the bound never under-covers while
     the memoised Con-Index entries remain the fast path.
 
     Slot progression is *relative*: elapsed time ``t`` maps to slot
-    ``slot_of(T) + t // Δt``, the same quantization as the entry hops.
-    The cover therefore depends only on the start slot (not the sub-slot
-    start time), which is what makes bounding regions exactly shareable
-    across queries in the same slot.
+    ``(slot_of(T) + t // Δt) mod num_slots``, the same quantization as the
+    entry hops.  The cover therefore depends only on the start slot (not
+    the sub-slot start time), which is what makes bounding regions exactly
+    shareable across queries in the same slot.
     """
-    step_of = (
-        con_index.network.predecessors
-        if kind.endswith("_rev")
-        else con_index.network.successors
+    csr = con_index.network.csr()
+    dist = _slot_expansion_dist(
+        con_index, csr, csr.rows_of(list(seeds)), start_time_s, budget_s, kind
     )
+    return csr.mask_to_id_set(np.isfinite(dist))
+
+
+def _slot_expansion_dist(
+    con_index: ConnectionIndex,
+    csr: CSRGraph,
+    seed_rows: np.ndarray,
+    start_time_s: float,
+    budget_s: float,
+    kind: Kind,
+) -> np.ndarray:
+    """Residual-carry arrivals via the slot-phased CSR kernel."""
     start_slot = con_index.slot_of(start_time_s)
-    delta_t = con_index.delta_t_s
     num_slots = con_index.num_slots
-    travel_fns: dict[int, object] = {}
 
-    def traversal(segment_id: int, time_s: float) -> float:
-        slot = (start_slot + int(time_s // delta_t)) % num_slots
-        fn = travel_fns.get(slot)
-        if fn is None:
-            fn = con_index.travel_time(kind, slot)
-            travel_fns[slot] = fn
-        return fn(segment_id)
+    def cost_of_phase(phase: int) -> np.ndarray:
+        return con_index.travel_time_vector(
+            kind, (start_slot + phase) % num_slots
+        )
 
-    best: dict[int, float] = {seed: 0.0 for seed in seeds}
-    heap: list[tuple[float, int]] = [(0.0, seed) for seed in seeds]
-    heapq.heapify(heap)
-    while heap:
-        time_now, segment = heapq.heappop(heap)
-        if time_now > best.get(segment, float("inf")):
-            continue
-        for neighbor in step_of(segment):
-            cost = traversal(neighbor, time_now)
-            if cost == float("inf"):
-                continue
-            reach = time_now + cost
-            if reach > budget_s:
-                continue
-            if reach < best.get(neighbor, float("inf")):
-                best[neighbor] = reach
-                heapq.heappush(heap, (reach, neighbor))
-    return set(best)
+    def cost_list_of_phase(phase: int) -> list[float]:
+        return con_index.travel_time_list(
+            kind, (start_slot + phase) % num_slots
+        )
+
+    return expand_slotted(
+        csr,
+        seed_rows,
+        budget_s,
+        float(con_index.delta_t_s),
+        cost_of_phase,
+        reverse=kind.endswith("_rev"),
+        cost_list_of_phase=cost_list_of_phase,
+    )
 
 
 def close_under_twins(network: RoadNetwork, cover: set[int]) -> None:
@@ -114,18 +134,62 @@ def region_boundary(
         reverse: use predecessors as the escape relation (for the backward
             bounding regions of reverse reachability queries).
     """
-    step_of = network.predecessors if reverse else network.successors
-    boundary: set[int] = set()
-    for segment_id in cover:
-        neighbors = step_of(segment_id)
-        if not neighbors or any(s not in cover for s in neighbors):
-            boundary.add(segment_id)
+    csr = network.csr()
+    mask = np.zeros(csr.n, dtype=bool)
+    if cover:
+        mask[csr.rows_of(sorted(cover))] = True
+    boundary = csr.mask_to_id_set(cover_boundary_mask(csr, mask, reverse))
     if not boundary and cover:
         # A saturated cover on a network with no dead ends (e.g. a ring
         # city) has no escape edges; the bound then prunes nothing, and the
         # trace-back must examine the whole cover.
         return set(cover)
     return boundary
+
+
+def _boundary_id_set(
+    csr: CSRGraph, cover: np.ndarray, cover_ids: set[int], reverse: bool = False
+) -> set[int]:
+    """Boundary of a cover mask as an id set, with the saturated-cover
+    rule applied (no escape edges -> the whole cover is the boundary, see
+    :func:`region_boundary`)."""
+    boundary = csr.mask_to_id_set(cover_boundary_mask(csr, cover, reverse))
+    if not boundary and cover_ids:
+        return set(cover_ids)
+    return boundary
+
+
+def _entry_hops(
+    con_index: ConnectionIndex,
+    csr: CSRGraph,
+    cover: np.ndarray,
+    start_slot: int,
+    steps: int,
+    kind: Kind,
+) -> None:
+    """Algorithm 1's accumulate-and-rehop loop over a boolean row mask.
+
+    Every covered segment's entry is unioned into the mask per step; the
+    per-entry union is one fancy-index store of the entry's cached id
+    array instead of a Python set union.
+
+    Entries are fully determined by ``(segment, kind, hour)`` — speed
+    bounds are hourly — so once a segment's entry has been unioned under
+    a given hour, re-expanding it at a later same-hour step can add
+    nothing (the cover only grows).  A per-row hour bitmask skips those
+    no-op fetches, which turns the classic O(cover x steps) entry-fetch
+    pattern into O(cover) per distinct hour the query spans.
+    """
+    num_slots = con_index.num_slots
+    expanded_hours = np.zeros(csr.n, dtype=np.uint32)
+    for step in range(steps):
+        slot = (start_slot + step) % num_slots
+        hour_bit = np.uint32(1 << con_index.slot_hour(slot))
+        rows = np.flatnonzero(cover & ((expanded_hours & hour_bit) == 0))
+        for segment_id in csr.ids_of(rows).tolist():
+            entry = con_index.entry(segment_id, slot, kind)
+            cover[csr.rows_of(entry.cover_ids())] = True
+        expanded_hours[rows] |= hour_bit
 
 
 def sqmb_bounding_region(
@@ -150,31 +214,31 @@ def sqmb_bounding_region(
     Returns:
         The bounding region: accumulated cover plus its outer boundary.
     """
+    csr = con_index.network.csr()
     delta_t = con_index.delta_t_s
+    start_slot = con_index.slot_of(start_time_s)
     steps = max(1, int(duration_s // delta_t))
+    cover = np.zeros(csr.n, dtype=bool)
     # A traveller standing on a two-way road may leave in either direction,
     # so both carriageways seed the expansion.
-    cover: set[int] = {start_segment}
-    twin = con_index.network.segment(start_segment).twin_id
-    if twin is not None and con_index.network.has_segment(twin):
-        cover.add(twin)
-    seeds = sorted(cover)
-    for step in range(steps):
-        slot = con_index.slot_of(start_time_s + step * delta_t)
-        additions: set[int] = set()
-        for segment_id in cover:
-            entry = con_index.entry(segment_id, slot, kind)
-            additions |= entry.cover
-        cover |= additions
+    seed_rows = [csr.row_of(start_segment)]
+    twin_row = int(csr.twin_row[seed_rows[0]])
+    if twin_row >= 0:
+        seed_rows.append(twin_row)
+    seed_rows = np.array(sorted(seed_rows), dtype=np.int64)
+    cover[seed_rows] = True
+    _entry_hops(con_index, csr, cover, start_slot, steps, kind)
     if kind == "far":
         # Top up with residual-carry expansion so the upper bound also
         # crosses segments whose traversal time exceeds one Δt slot.
-        cover |= slot_aware_expansion(
-            con_index, seeds, start_time_s, steps * delta_t, kind
+        dist = _slot_expansion_dist(
+            con_index, csr, seed_rows, start_time_s, steps * delta_t, kind
         )
-    close_under_twins(con_index.network, cover)
+        cover |= np.isfinite(dist)
+    close_twins_mask(csr, cover)
+    cover_ids = csr.mask_to_id_set(cover)
     return BoundingRegion(
-        cover=cover,
-        boundary=region_boundary(con_index.network, cover),
-        seed_of={segment_id: start_segment for segment_id in cover},
+        cover=cover_ids,
+        boundary=_boundary_id_set(csr, cover, cover_ids),
+        seed_of={segment_id: start_segment for segment_id in cover_ids},
     )

@@ -23,6 +23,8 @@ algorithms compete on.
 from __future__ import annotations
 
 import struct
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -58,26 +60,35 @@ def encode_time_list(per_date: dict[int, list[tuple[int, int]]]) -> bytes:
 
 
 def decode_time_list(payload: bytes) -> dict[int, list[tuple[int, int]]]:
-    """Inverse of :func:`encode_time_list`."""
+    """Inverse of :func:`encode_time_list`.
+
+    Decoded on every (charged) time-list read in the TBS/ES hot path, so
+    the payload is converted in one C pass (``frombuffer`` + ``tolist``)
+    and each date's visit pairs are built by zipping list slices instead
+    of indexing element-by-element.
+    """
     if len(payload) % 4 != 0:
         raise SerializationError("time list payload not uint32-aligned")
-    values = struct.unpack(f"<{len(payload) // 4}I", payload)
+    values = np.frombuffer(payload, dtype="<u4").tolist()
+    total = len(values)
+    if total == 0:
+        raise SerializationError("truncated time list header")
     num_dates = values[0]
     per_date: dict[int, list[tuple[int, int]]] = {}
     offset = 1
     for _ in range(num_dates):
-        if offset + 2 > len(values):
+        if offset + 2 > total:
             raise SerializationError("truncated time list header")
         date, count = values[offset], values[offset + 1]
         offset += 2
-        if offset + 2 * count > len(values):
+        end = offset + 2 * count
+        if end > total:
             raise SerializationError("truncated time list ids")
-        per_date[date] = [
-            (values[offset + 2 * i], values[offset + 2 * i + 1])
-            for i in range(count)
-        ]
-        offset += 2 * count
-    if offset != len(values):
+        per_date[date] = list(
+            zip(values[offset:end:2], values[offset + 1:end:2])
+        )
+        offset = end
+    if offset != total:
         raise SerializationError("trailing values in time list payload")
     return per_date
 
@@ -101,6 +112,11 @@ class STIndex:
         disk: simulated disk to hold time-list payloads (a fresh private
             disk is created when omitted).
         buffer_pool_pages: LRU page cache capacity for reads.
+        record_cache_size: decoded-record LRU capacity (0 disables).  The
+            page store is append-only, so a decoded record can never go
+            stale; the cache skips only the *decode* work — every access
+            is still charged through the buffer pool, keeping the I/O
+            accounting identical.
     """
 
     def __init__(
@@ -109,6 +125,7 @@ class STIndex:
         delta_t_s: int,
         disk: SimulatedDisk | None = None,
         buffer_pool_pages: int = 512,
+        record_cache_size: int = 4096,
     ) -> None:
         if delta_t_s <= 0 or delta_t_s > SECONDS_PER_DAY:
             raise ValueError(f"bad slot width {delta_t_s}")
@@ -132,6 +149,11 @@ class STIndex:
         # new data never forces an index rebuild.
         self._directory: dict[tuple[int, int], list[RecordPointer]] = {}
         self._built = False
+        self.record_cache_size = record_cache_size
+        self._decoded_records: OrderedDict[
+            RecordPointer, dict[int, list[tuple[int, int]]]
+        ] = OrderedDict()
+        self._record_lock = threading.Lock()
         self.stats = STIndexStats(num_slots=self.num_slots)
 
     # -- construction ----------------------------------------------------------
@@ -241,16 +263,52 @@ class STIndex:
         assert found is not None, "temporal index must cover the whole day"
         return found[1]
 
-    def slots_in_window(self, start_s: float, end_s: float) -> list[int]:
-        """Slots overlapping ``[start_s, end_s)`` via a B+-tree range scan."""
-        if end_s <= start_s:
+    def _window_parts(
+        self, start_s: float, end_s: float
+    ) -> list[tuple[float, float]]:
+        """``[start_s, end_s)`` as within-day parts, split at midnight.
+
+        Time-of-day is cyclic: a window that runs past midnight continues
+        in the early slots of the day (the same wrap-around the Con-Index
+        slot hops use) instead of silently truncating at
+        ``SECONDS_PER_DAY``.  A window spanning a full day or more covers
+        every slot.
+        """
+        span = end_s - start_s
+        if span <= 0:
             return []
+        if span >= SECONDS_PER_DAY:
+            return [(0.0, float(SECONDS_PER_DAY))]
+        start = start_s % SECONDS_PER_DAY
+        end = start + span
+        if end <= SECONDS_PER_DAY:
+            return [(start, end)]
+        return [(start, float(SECONDS_PER_DAY)), (0.0, end - SECONDS_PER_DAY)]
+
+    def _slots_in_part(self, start_s: float, end_s: float) -> list[int]:
         first_start = self.slot_of(start_s) * self.delta_t_s
-        end_clamped = min(end_s, SECONDS_PER_DAY)
         return [
             slot
-            for _, slot in self._temporal.range(first_start, end_clamped - 1e-9)
+            for _, slot in self._temporal.range(first_start, end_s - 1e-9)
         ]
+
+    def slots_in_window(self, start_s: float, end_s: float) -> list[int]:
+        """Slots overlapping ``[start_s, end_s)`` via B+-tree range scans.
+
+        Windows crossing midnight are split at the day boundary and the
+        wrapped part's slots follow the pre-midnight ones, so a late-night
+        query window yields e.g. ``[287, 0, 1]`` instead of clamping.
+        Each overlapped slot appears once even when the wrapped part
+        re-enters the slot containing the window start.
+        """
+        slots: list[int] = []
+        seen: set[int] = set()
+        for lo, hi in self._window_parts(start_s, end_s):
+            for slot in self._slots_in_part(lo, hi):
+                if slot not in seen:
+                    seen.add(slot)
+                    slots.append(slot)
+        return slots
 
     # -- spatial lookups -------------------------------------------------------------
 
@@ -287,12 +345,50 @@ class STIndex:
         chain = self._directory.get((segment_id, slot))
         if chain is None:
             return {}
-        merged: dict[int, list[tuple[int, int]]] = {}
+        if len(chain) == 1:
+            # Bulk-built and per-append records are internally duplicate
+            # free; only cross-record merges need the dedup below.  Fresh
+            # list copies keep the return value caller-mutable without
+            # exposing the memoized record.
+            return {
+                date: list(visits)
+                for date, visits in self._read_record(chain[0]).items()
+            }
+        merged: dict[int, set[tuple[int, int]]] = {}
         for pointer in chain:
-            payload = self._store.read(pointer, pool=self.pool)
-            for date, visits in decode_time_list(payload).items():
-                merged.setdefault(date, []).extend(visits)
-        return merged
+            for date, visits in self._read_record(pointer).items():
+                # Set-merge: a visit present in both the bulk record and an
+                # appended record (same id, same second) must count once.
+                merged.setdefault(date, set()).update(visits)
+        return {date: sorted(visits) for date, visits in merged.items()}
+
+    def _read_record(
+        self, pointer: RecordPointer
+    ) -> dict[int, list[tuple[int, int]]]:
+        """One charged record read, with the decode memoized.
+
+        The read always goes through the buffer pool (the paper's I/O
+        accounting), but records are append-only and never mutate, so the
+        decoded form is cached by pointer and served read-only — TBS/ES
+        probability checks re-read the same handful of time lists for
+        every candidate segment.  The LRU is shared by batch worker
+        threads, so lookups and insert/evict run under a lock (the decode
+        itself does not).
+        """
+        payload = self._store.read(pointer, pool=self.pool)
+        if self.record_cache_size <= 0:
+            return decode_time_list(payload)
+        with self._record_lock:
+            decoded = self._decoded_records.get(pointer)
+            if decoded is not None:
+                self._decoded_records.move_to_end(pointer)
+                return decoded
+        decoded = decode_time_list(payload)
+        with self._record_lock:
+            self._decoded_records[pointer] = decoded
+            while len(self._decoded_records) > self.record_cache_size:
+                self._decoded_records.popitem(last=False)
+        return decoded
 
     def time_list(self, segment_id: int, slot: int) -> dict[int, set[int]]:
         """A (segment, slot) time list as ``date -> trajectory ids``."""
@@ -309,25 +405,29 @@ class STIndex:
         Slots fully inside the window contribute every stored ID; slots the
         window only partially overlaps are filtered by the per-visit seconds,
         so the window boundaries are exact rather than rounded out to whole
-        Δt slots.
+        Δt slots.  A window crossing midnight is split at the day boundary
+        (time-of-day is cyclic) and both parts contribute.
         """
         merged: dict[int, set[int]] = {}
-        for slot in self.slots_in_window(start_s, end_s):
-            slot_start = slot * self.delta_t_s
-            whole_slot = start_s <= slot_start and slot_start + self.delta_t_s <= end_s
-            for date, visits in self.time_entries(segment_id, slot).items():
-                ids = {
-                    trajectory_id
-                    for trajectory_id, second in visits
-                    if whole_slot or start_s <= second < end_s
-                }
-                if not ids:
-                    continue
-                bucket = merged.get(date)
-                if bucket is None:
-                    merged[date] = ids
-                else:
-                    bucket |= ids
+        for lo, hi in self._window_parts(start_s, end_s):
+            for slot in self._slots_in_part(lo, hi):
+                slot_start = slot * self.delta_t_s
+                whole_slot = (
+                    lo <= slot_start and slot_start + self.delta_t_s <= hi
+                )
+                for date, visits in self.time_entries(segment_id, slot).items():
+                    ids = {
+                        trajectory_id
+                        for trajectory_id, second in visits
+                        if whole_slot or lo <= second < hi
+                    }
+                    if not ids:
+                        continue
+                    bucket = merged.get(date)
+                    if bucket is None:
+                        merged[date] = ids
+                    else:
+                        bucket |= ids
         return merged
 
     def has_entry(self, segment_id: int, slot: int) -> bool:

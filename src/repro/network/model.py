@@ -97,6 +97,7 @@ class RoadNetwork:
         self._segments: dict[int, RoadSegment] = {}
         self._out: dict[int, list[int]] = {}
         self._in: dict[int, list[int]] = {}
+        self._csr = None
 
     # -- construction ---------------------------------------------------------
 
@@ -117,6 +118,7 @@ class RoadNetwork:
         self._segments[segment.segment_id] = segment
         self._out[segment.start_node].append(segment.segment_id)
         self._in[segment.end_node].append(segment.segment_id)
+        self._csr = None  # adjacency changed; rebuild the CSR view lazily
 
     def next_node_id(self) -> int:
         return max(self._nodes, default=-1) + 1
@@ -223,6 +225,18 @@ class RoadNetwork:
                 seen.add(other)
                 result.append(other)
         return result
+
+    def csr(self):
+        """The cached CSR adjacency view (see :mod:`repro.network.csr`).
+
+        Built on first use and invalidated whenever a segment is added, so
+        the expansion kernels always see the current topology.
+        """
+        if self._csr is None:
+            from repro.network.csr import build_csr
+
+            self._csr = build_csr(self)
+        return self._csr
 
     # -- geometry ----------------------------------------------------------------
 

@@ -77,15 +77,16 @@ class TestBatches:
         # Warm pools inside the batch mean hits were served cache-side.
         assert report.io.pool_hits > 0
 
-    def test_batch_dedups_shared_bounding_regions(self, engine, service):
+    def test_batch_dedups_shared_bounding_regions(self, engine):
         """Same seeds + slot + duration at different thresholds: the
         bounding regions are computed once and reused."""
+        fresh = QueryService(engine)
         base = MQuery(tuple(config.M_QUERY_LOCATIONS[:3]), T, 1200, 0.2)
         batch = [
             MQuery(base.locations, T, 1200, prob)
             for prob in (0.2, 0.4, 0.6)
         ]
-        report = service.run_batch(batch)
+        report = fresh.run_batch(batch)
         # One far + one near region for the shared shape; the other two
         # queries reuse both.
         assert report.regions_computed == 2
@@ -93,6 +94,21 @@ class TestBatches:
         sequential = [engine.m_query(q) for q in batch]
         assert [r.segments for r in report.results] == [
             r.segments for r in sequential
+        ]
+
+    def test_regions_shared_across_batches(self, engine):
+        """The region cache outlives one batch: a repeat batch computes
+        nothing and serves every bound from the service-lifetime LRU."""
+        fresh = QueryService(engine)
+        batch = [SQuery(CENTER, T, 600, p) for p in (0.2, 0.5)]
+        first = fresh.run_batch(batch)
+        assert first.regions_computed == 2  # far + near, shared shape
+        assert first.regions_reused == 2
+        second = fresh.run_batch(batch)
+        assert second.regions_computed == 0
+        assert second.regions_reused == 4
+        assert [r.segments for r in second.results] == [
+            r.segments for r in first.results
         ]
 
     def test_batch_reuses_plans(self, service):
@@ -117,6 +133,28 @@ class TestBatches:
         assert [r.segments for r in threaded.results] == [
             r.segments for r in solo.results
         ]
+
+    def test_threaded_batch_counters_exact(self, engine):
+        """Under max_workers > 1 the dedup counters stay exact: every
+        bounding_region call is counted once, and each distinct region is
+        computed exactly once (concurrent requesters wait, not recompute)."""
+        fresh = QueryService(engine)
+        durations = (600, 900, 1200, 1500)
+        batch = [
+            SQuery(CENTER, T, duration, prob)
+            for duration in durations
+            for prob in (0.2, 0.4, 0.8)
+        ]
+        report = fresh.run_batch(batch, max_workers=8)
+        calls = 2 * len(batch)  # one far + one near region per query
+        assert report.regions_computed + report.regions_reused == calls
+        # 4 distinct (seeds, slot, steps) shapes x far/near.
+        assert report.regions_computed == 2 * len(durations)
+        assert report.regions_reused == calls - 2 * len(durations)
+        # A second threaded pass is served entirely from the service cache.
+        again = fresh.run_batch(batch, max_workers=8)
+        assert again.regions_computed == 0
+        assert again.regions_reused == calls
 
     def test_batch_report_rows(self, service):
         report = service.run_batch([SQuery(CENTER, T, 600, 0.2)])

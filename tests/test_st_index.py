@@ -82,9 +82,12 @@ class TestSlots:
         assert index.slots_in_window(0, 301) == [0, 1]
         assert index.slots_in_window(150, 750) == [0, 1, 2]
         assert index.slots_in_window(100, 100) == []
-        # window extending past midnight clamps
+        # window extending past midnight wraps into the day's first slots
         late = index.slots_in_window(SECONDS_PER_DAY - 100, SECONDS_PER_DAY + 500)
-        assert late == [287]
+        assert late == [287, 0, 1]
+        # a full-day (or longer) window covers every slot exactly once
+        full = index.slots_in_window(3600, 3600 + SECONDS_PER_DAY)
+        assert full == list(range(index.num_slots))
 
 
 class TestBuildAndRead:
