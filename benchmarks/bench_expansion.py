@@ -35,6 +35,7 @@ import statistics
 import time
 from pathlib import Path
 
+from repro.api import QueryOptions, ReachabilityClient, Request
 from repro.core import executors as executors_module
 from repro.core import legacy_expansion as legacy
 from repro.core.engine import ReachabilityEngine
@@ -295,20 +296,28 @@ class _LegacyKernels:
 
 def bench_fig41_sweep(engine, settings, durations_s, repeat: int) -> list[dict]:
     """End-to-end sqmb_tbs queries over durations, CSR vs legacy kernels."""
-    service = QueryService(engine, delta_t_s=settings.delta_t_s)
+    client = ReachabilityClient(engine)
     rows = []
     for duration_s in durations_s:
         query = SQuery(
             settings.location, settings.start_time_s, duration_s, settings.prob
         )
+        # reuse_regions=False: every run must pay its own bounding-region
+        # expansion, otherwise the service-lifetime cache would serve the
+        # bounds and the kernels under measurement would never run.
+        request = Request(
+            query,
+            QueryOptions(
+                algorithm="sqmb_tbs", delta_t_s=settings.delta_t_s,
+                reuse_regions=False,
+            ),
+        )
 
         def run():
-            return service.query(
-                query, algorithm="sqmb_tbs", delta_t_s=settings.delta_t_s
-            )
+            return client.send(request).result
 
         def run_legacy():
-            with _LegacyKernels(service.engine):
+            with _LegacyKernels(client.engine):
                 return run()
 
         run()  # warm the con-index entries for this duration

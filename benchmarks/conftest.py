@@ -20,6 +20,17 @@ from repro.eval.config import DEFAULT_SETTINGS, SMALL_SETTINGS
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_configure(config):
+    # The figure benchmarks deliberately measure the classic engine
+    # facade (the paper's cold one-call-per-query protocol); its
+    # deprecation in favour of the client API is intentional noise here,
+    # and thousands of per-call warnings would drown real ones.
+    config.addinivalue_line(
+        "filterwarnings",
+        "ignore:.*deprecated. build a repro.api.Request.*:DeprecationWarning",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_dataset():
     """The full-size benchmark dataset (ShenzhenLike defaults)."""

@@ -4,7 +4,8 @@
 The paper's third motivating application (§1.1): a chained business (UPS,
 McDonald's, ...) wants its overall spatial coverage — the union of the
 spatio-temporal reachable regions of all branches.  That is exactly an
-m-query, and the MQMB algorithm answers it far faster than running one
+m-query; the client's router classifies the three overlapping downtown
+branches onto MQMB+TBS, which answers it far faster than running one
 s-query per branch because the branches' regions overlap downtown.
 
 Usage::
@@ -12,8 +13,20 @@ Usage::
     python examples/business_coverage.py
 """
 
-from repro import ReachabilityEngine, MQuery, Point, day_time
-from repro.datasets.shenzhen_like import ShenzhenLikeConfig, build_shenzhen_like
+from repro import (
+    MQuery,
+    QueryOptions,
+    ReachabilityClient,
+    ReachabilityEngine,
+    Request,
+    Point,
+    day_time,
+)
+from repro.datasets.shenzhen_like import (
+    ShenzhenLikeConfig,
+    build_shenzhen_like,
+    demo_config,
+)
 from repro.viz.ascii_map import render_region
 
 BRANCHES = (
@@ -22,7 +35,7 @@ BRANCHES = (
     Point(-2400.0, -1600.0),  # south-west branch
 )
 
-DEMO_CONFIG = ShenzhenLikeConfig(
+DEMO_CONFIG = demo_config(ShenzhenLikeConfig(
     grid_rows=7,
     grid_cols=7,
     spacing_m=2400.0,
@@ -30,13 +43,15 @@ DEMO_CONFIG = ShenzhenLikeConfig(
     primary_every=3,
     num_taxis=120,
     num_days=15,
-)
+))
 
 
 def main() -> None:
     print("Building dataset ...")
     dataset = build_shenzhen_like(DEMO_CONFIG)
-    engine = ReachabilityEngine(dataset.network, dataset.database)
+    client = ReachabilityClient(
+        ReachabilityEngine(dataset.network, dataset.database)
+    )
 
     query = MQuery(
         locations=BRANCHES,
@@ -45,18 +60,21 @@ def main() -> None:
         prob=0.2,
     )
 
-    print("\nAnswering the m-query with MQMB+TBS ...")
-    merged = engine.m_query(query, algorithm="mqmb_tbs")
+    print("\nAnswering the m-query (auto-routed) ...")
+    merged = client.send(Request(query))
+    print(f"  {merged.route.describe()}")
     print("Answering it as three independent s-queries ...")
-    naive = engine.m_query(query, algorithm="sqmb_tbs_each")
+    naive = client.send(
+        Request(query, QueryOptions(algorithm="sqmb_tbs_each"))
+    )
 
-    km = merged.road_length_m(dataset.network) / 1000.0
+    km = merged.result.road_length_m(dataset.network) / 1000.0
     print(f"\n=== Combined coverage: {len(merged.segments)} segments, {km:.1f} km ===")
-    print(render_region(merged, dataset.network, width=60, height=24))
+    print(render_region(merged.result, dataset.network, width=60, height=24))
 
     print("\nCost comparison:")
-    for name, result in (("MQMB+TBS", merged), ("3 x SQMB+TBS", naive)):
-        cost = result.cost
+    for name, response in (("MQMB+TBS", merged), ("3 x SQMB+TBS", naive)):
+        cost = response.cost
         print(
             f"  {name:>13}: {cost.total_cost_ms:8.0f} ms "
             f"({cost.io.page_reads} page reads, "

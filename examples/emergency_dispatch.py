@@ -8,21 +8,36 @@ requirement.  A distance-based range query would answer the same circle at
 03:00 and at 18:00; the data-driven reachability query does not.
 
 The script sweeps the confidence level (Prob) and the time of day for one
-station, showing how guaranteed coverage (Prob = 100%) is much smaller than
-best-case coverage (Prob = 20%), and how rush hour erodes both.
+station as a single streamed client batch — the requests share warm
+buffer pools and deduplicated bounding regions, so the whole sweep costs
+little more than one query per distinct shape.
 
 Usage::
 
     python examples/emergency_dispatch.py
 """
 
-from repro import ReachabilityEngine, SQuery, Point, day_time
-from repro.datasets.shenzhen_like import ShenzhenLikeConfig, build_shenzhen_like
+from repro import (
+    QueryOptions,
+    ReachabilityClient,
+    ReachabilityEngine,
+    Request,
+    SQuery,
+    Point,
+    day_time,
+)
+from repro.datasets.shenzhen_like import (
+    ShenzhenLikeConfig,
+    build_shenzhen_like,
+    demo_config,
+)
 
 STATION = Point(0.0, 0.0)
 DEADLINE_S = 10 * 60
+PROBS = (0.2, 0.4, 0.6, 0.8, 1.0)
+HOURS = (1, 6, 8, 11, 14, 18, 21)
 
-DEMO_CONFIG = ShenzhenLikeConfig(
+DEMO_CONFIG = demo_config(ShenzhenLikeConfig(
     grid_rows=7,
     grid_cols=7,
     spacing_m=2400.0,
@@ -30,34 +45,54 @@ DEMO_CONFIG = ShenzhenLikeConfig(
     primary_every=3,
     num_taxis=120,
     num_days=15,
-)
+))
 
 
 def main() -> None:
     print("Building dataset ...")
     dataset = build_shenzhen_like(DEMO_CONFIG)
-    engine = ReachabilityEngine(dataset.network, dataset.database)
+    client = ReachabilityClient(
+        ReachabilityEngine(dataset.network, dataset.database)
+    )
 
     print(f"\nStation at {STATION.as_tuple()}, deadline "
           f"{DEADLINE_S // 60} minutes.\n")
 
+    # One batch: the five confidence levels share one bounding region
+    # (same shape), the seven start times add one region pair each.
+    requests = [
+        Request(
+            SQuery(STATION, day_time(11), DEADLINE_S, prob),
+            QueryOptions(tag=f"prob-{prob:.0%}"),
+        )
+        for prob in PROBS
+    ]
+    requests += [
+        Request(
+            SQuery(STATION, day_time(hour), DEADLINE_S, 0.8),
+            QueryOptions(tag=f"hour-{hour}"),
+        )
+        for hour in HOURS
+    ]
+    report = client.run_batch(requests)
+
     print("Coverage by confidence level (at 11:00):")
     print(f"  {'Prob':>6}  {'segments':>9}  {'road km':>8}")
-    for prob in (0.2, 0.4, 0.6, 0.8, 1.0):
-        query = SQuery(STATION, day_time(11), DEADLINE_S, prob)
-        result = engine.s_query(query)
+    for prob, result in zip(PROBS, report.results[:len(PROBS)]):
         km = result.road_length_m(dataset.network) / 1000.0
         print(f"  {prob:>6.0%}  {len(result.segments):>9}  {km:>8.1f}")
 
     print("\nGuaranteed coverage (Prob = 80%) over the day:")
     print(f"  {'time':>6}  {'segments':>9}  {'road km':>8}")
-    for hour in (1, 6, 8, 11, 14, 18, 21):
-        query = SQuery(STATION, day_time(hour), DEADLINE_S, 0.8)
-        result = engine.s_query(query)
+    for hour, result in zip(HOURS, report.results[len(PROBS):]):
         km = result.road_length_m(dataset.network) / 1000.0
         print(f"  {hour:>4}:00  {len(result.segments):>9}  {km:>8.1f}")
 
-    print("\nNote the dips around 08:00 and 18:00 — rush-hour congestion "
+    print(f"\nBatch cost: {report.page_reads} page reads for "
+          f"{len(requests)} queries; bounding regions "
+          f"{report.regions_computed} computed / {report.regions_reused} "
+          "reused across the sweep.")
+    print("Note the dips around 08:00 and 18:00 — rush-hour congestion "
           "shrinks what a responder can actually cover, which is exactly "
           "the effect the paper's Figs 4.5/4.6 demonstrate.")
 

@@ -6,8 +6,10 @@ campaign and wants the region from which the mall is reachable within 10
 minutes — which is *time-varying*: at off-peak (13:00) the region is much
 larger than during the evening rush (18:00), when congestion shrinks it.
 
-The script answers the same query at both times, prints the two regions
-side by side, and exports them as GeoJSON for a web map.
+The catchment question is the *reverse* reachability query, expressed
+per request with ``QueryOptions(direction="reverse")``.  The script
+answers the same query at both times, prints the two regions side by
+side, and exports them as GeoJSON for a web map.
 
 Usage::
 
@@ -17,14 +19,26 @@ Usage::
 import sys
 from pathlib import Path
 
-from repro import ReachabilityEngine, SQuery, Point, day_time
-from repro.datasets.shenzhen_like import ShenzhenLikeConfig, build_shenzhen_like
+from repro import (
+    QueryOptions,
+    ReachabilityClient,
+    ReachabilityEngine,
+    Request,
+    SQuery,
+    Point,
+    day_time,
+)
+from repro.datasets.shenzhen_like import (
+    ShenzhenLikeConfig,
+    build_shenzhen_like,
+    demo_config,
+)
 from repro.viz.ascii_map import render_region
 from repro.viz.geojson import write_geojson
 
 MALL_LOCATION = Point(0.0, 0.0)  # the downtown mall
 
-DEMO_CONFIG = ShenzhenLikeConfig(
+DEMO_CONFIG = demo_config(ShenzhenLikeConfig(
     grid_rows=7,
     grid_cols=7,
     spacing_m=2400.0,
@@ -32,29 +46,36 @@ DEMO_CONFIG = ShenzhenLikeConfig(
     primary_every=3,
     num_taxis=120,
     num_days=15,
-)
+))
 
 
 def main() -> None:
     output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    output_dir.mkdir(parents=True, exist_ok=True)
     print("Building dataset ...")
     dataset = build_shenzhen_like(DEMO_CONFIG)
-    engine = ReachabilityEngine(dataset.network, dataset.database)
+    client = ReachabilityClient(
+        ReachabilityEngine(dataset.network, dataset.database)
+    )
 
     results = {}
     for label, hour in (("off-peak 13:00", 13), ("evening rush 18:00", 18)):
-        query = SQuery(
-            location=MALL_LOCATION,
-            start_time_s=day_time(hour),
-            duration_s=10 * 60,
-            prob=0.2,
+        response = client.send(
+            Request(
+                SQuery(
+                    location=MALL_LOCATION,
+                    start_time_s=day_time(hour),
+                    duration_s=10 * 60,
+                    prob=0.2,
+                ),
+                QueryOptions(direction="reverse", tag=label),
+            )
         )
-        result = engine.s_query(query)
-        results[label] = result
-        km = result.road_length_m(dataset.network) / 1000.0
+        results[label] = response.result
+        km = response.result.road_length_m(dataset.network) / 1000.0
         print(f"\n=== Reachable region at {label}: "
-              f"{len(result.segments)} segments, {km:.1f} km ===")
-        print(render_region(result, dataset.network, width=60, height=24))
+              f"{len(response.segments)} segments, {km:.1f} km ===")
+        print(render_region(response.result, dataset.network, width=60, height=24))
 
     off_peak = results["off-peak 13:00"]
     rush = results["evening rush 18:00"]

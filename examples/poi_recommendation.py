@@ -4,22 +4,36 @@
 Two applications in one script (§1.1 applications 1 and 2):
 
 1. **Recommendation** — a user downtown at 12:30 wants lunch within 10
-   minutes; rank the restaurants she can actually reach with confidence.
+   minutes; rank the restaurants she can actually reach with confidence
+   (``repro.apps.recommendation`` over the shared client).
 2. **Reverse advertising** — the best-ranked restaurant wants to know
    *from where* customers can reach it within 10 minutes at dinner time,
-   to target coupons (the reverse reachability query).
+   to target coupons: one more request on the same client, with
+   ``direction="reverse"`` in its options.
 
 Usage::
 
     python examples/poi_recommendation.py
 """
 
-from repro import ReachabilityEngine, SQuery, Point, day_time
+from repro import (
+    QueryOptions,
+    ReachabilityClient,
+    ReachabilityEngine,
+    Request,
+    SQuery,
+    Point,
+    day_time,
+)
 from repro.apps.recommendation import POI, recommend_pois
-from repro.datasets.shenzhen_like import ShenzhenLikeConfig, build_shenzhen_like
+from repro.datasets.shenzhen_like import (
+    ShenzhenLikeConfig,
+    build_shenzhen_like,
+    demo_config,
+)
 from repro.viz.ascii_map import render_region
 
-DEMO_CONFIG = ShenzhenLikeConfig(
+DEMO_CONFIG = demo_config(ShenzhenLikeConfig(
     grid_rows=7,
     grid_cols=7,
     spacing_m=2400.0,
@@ -27,7 +41,7 @@ DEMO_CONFIG = ShenzhenLikeConfig(
     primary_every=3,
     num_taxis=120,
     num_days=15,
-)
+))
 
 RESTAURANTS = [
     POI("Dim Sum Palace", Point(400.0, 300.0), "cantonese"),
@@ -41,13 +55,15 @@ RESTAURANTS = [
 def main() -> None:
     print("Building dataset ...")
     dataset = build_shenzhen_like(DEMO_CONFIG)
-    engine = ReachabilityEngine(dataset.network, dataset.database)
+    client = ReachabilityClient(
+        ReachabilityEngine(dataset.network, dataset.database)
+    )
 
     user = Point(0.0, 0.0)
     print("\n1) Lunch recommendation: user downtown at 12:30, 10-minute "
           "budget, 20% confidence")
     ranked = recommend_pois(
-        engine, user, day_time(12, 30), 10 * 60, RESTAURANTS, prob=0.2,
+        client, user, day_time(12, 30), 10 * 60, RESTAURANTS, prob=0.2,
     )
     if not ranked:
         print("  (no restaurant reachable — try a longer budget)")
@@ -66,13 +82,16 @@ def main() -> None:
         winner = ranked[0].poi
         print(f"\n2) Reverse advertising for {winner.name!r}: from where can "
               "customers arrive within 10 minutes at 18:30?")
-        reverse = engine.r_query(
-            SQuery(winner.location, day_time(18, 30), 10 * 60, 0.2)
+        reverse = client.send(
+            Request(
+                SQuery(winner.location, day_time(18, 30), 10 * 60, 0.2),
+                QueryOptions(direction="reverse", tag="coupon-catchment"),
+            )
         )
-        km = reverse.road_length_m(dataset.network) / 1000.0
+        km = reverse.result.road_length_m(dataset.network) / 1000.0
         print(f"  catchment: {len(reverse.segments)} segments, {km:.1f} km "
               "of road — distribute coupons here:")
-        print(render_region(reverse, dataset.network, width=60, height=22))
+        print(render_region(reverse.result, dataset.network, width=60, height=22))
 
 
 if __name__ == "__main__":

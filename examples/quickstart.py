@@ -5,8 +5,10 @@ Runs the full pipeline on a small synthetic city in a few seconds:
 
 1. generate a road network + 15 days of taxi trajectories;
 2. build the ST-Index and Con-Index;
-3. answer a single-location spatio-temporal reachability query with the
-   paper's SQMB+TBS algorithm and with the exhaustive-search baseline;
+3. answer a single-location spatio-temporal reachability query through
+   the request/response client — auto-routed (the router picks the
+   paper's SQMB+TBS for this shape) and forced to the exhaustive-search
+   baseline;
 4. print the result region as an ASCII map and the cost comparison.
 
 Usage::
@@ -14,11 +16,23 @@ Usage::
     python examples/quickstart.py
 """
 
-from repro import ReachabilityEngine, SQuery, Point, day_time
-from repro.datasets.shenzhen_like import ShenzhenLikeConfig, build_shenzhen_like
+from repro import (
+    QueryOptions,
+    ReachabilityClient,
+    ReachabilityEngine,
+    Request,
+    SQuery,
+    Point,
+    day_time,
+)
+from repro.datasets.shenzhen_like import (
+    ShenzhenLikeConfig,
+    build_shenzhen_like,
+    demo_config,
+)
 from repro.viz.ascii_map import render_region
 
-DEMO_CONFIG = ShenzhenLikeConfig(
+DEMO_CONFIG = demo_config(ShenzhenLikeConfig(
     grid_rows=7,
     grid_cols=7,
     spacing_m=2400.0,
@@ -26,7 +40,7 @@ DEMO_CONFIG = ShenzhenLikeConfig(
     primary_every=3,
     num_taxis=120,
     num_days=15,
-)
+))
 
 
 def main() -> None:
@@ -36,25 +50,29 @@ def main() -> None:
         print(f"  {key}: {value}")
 
     print("\nBuilding indexes and answering the query ...")
-    engine = ReachabilityEngine(dataset.network, dataset.database)
+    client = ReachabilityClient(
+        ReachabilityEngine(dataset.network, dataset.database)
+    )
     query = SQuery(
         location=Point(0.0, 0.0),  # downtown
         start_time_s=day_time(11),  # 11:00
         duration_s=15 * 60,  # L = 15 minutes
         prob=0.2,  # reachable on >= 20% of days
     )
-    ours = engine.s_query(query, algorithm="sqmb_tbs")
-    baseline = engine.s_query(query, algorithm="es")
+    ours = client.send(Request(query))  # algorithm="auto"
+    baseline = client.send(Request(query, QueryOptions(algorithm="es")))
+    print(f"  {ours.route.describe()}")
 
     print(f"\nProb-reachable region: {len(ours.segments)} road segments, "
-          f"{ours.road_length_m(dataset.network) / 1000.0:.1f} km of road")
-    print(render_region(ours, dataset.network))
+          f"{ours.result.road_length_m(dataset.network) / 1000.0:.1f} km of road")
+    print(render_region(ours.result, dataset.network))
 
     print("\nCost comparison (running time = wall clock + simulated disk I/O):")
-    for name, result in (("SQMB+TBS", ours), ("exhaustive", baseline)):
-        cost = result.cost
+    for name, response in ((f"auto ({ours.route.algorithm})", ours),
+                           ("exhaustive", baseline)):
+        cost = response.cost
         print(
-            f"  {name:>10}: {cost.total_cost_ms:8.0f} ms "
+            f"  {name:>16}: {cost.total_cost_ms:8.0f} ms "
             f"({cost.io.page_reads} page reads, "
             f"{cost.probability_checks} probability checks)"
         )

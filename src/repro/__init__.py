@@ -8,6 +8,10 @@ generator, map matching, and a simulated disk with I/O accounting).
 
 Module map (see ``docs/architecture.md`` for the routing diagram):
 
+* ``repro.api`` — the stable front door: :class:`Request`/:class:`Response`
+  envelopes, the adaptive :class:`Router` behind ``algorithm="auto"``, and
+  :class:`ReachabilityClient` (``send`` / ``submit`` futures / ``stream``
+  with bounded in-flight window / ``run_batch``); see ``docs/api.md``.
 * ``repro.core`` — planner -> executor-registry -> storage query stack:
   :class:`QueryService` (batching, bounding-region dedup),
   :class:`ReachabilityEngine` (index ownership + classic facade),
@@ -31,12 +35,12 @@ Module map (see ``docs/architecture.md`` for the routing diagram):
 Quickstart::
 
     from repro import (
-        QueryService, ReachabilityEngine, SQuery, build_shenzhen_like,
-        day_time, Point,
+        ReachabilityClient, ReachabilityEngine, Request, SQuery,
+        build_shenzhen_like, day_time, Point,
     )
 
     dataset = build_shenzhen_like()
-    service = QueryService(
+    client = ReachabilityClient(
         ReachabilityEngine(dataset.network, dataset.database)
     )
     query = SQuery(
@@ -45,14 +49,24 @@ Quickstart::
         duration_s=10 * 60,
         prob=0.2,
     )
-    result = service.query(query)
-    print(len(result.segments), "reachable segments")
+    response = client.send(Request(query))  # algorithm="auto"
+    print(len(response.segments), "reachable segments via",
+          response.route.algorithm)
 
-    report = service.run_batch([query, SQuery(Point(0, 0), day_time(11),
-                                              10 * 60, 0.8)])
+    report = client.run_batch([query, SQuery(Point(0, 0), day_time(11),
+                                             10 * 60, 0.8)])
     print(report.page_reads, "page reads for the whole batch")
 """
 
+from repro.api import (
+    QueryOptions,
+    ReachabilityClient,
+    Request,
+    Response,
+    RouteDecision,
+    Router,
+    as_client,
+)
 from repro.core import (
     BatchReport,
     ConnectionIndex,
@@ -84,6 +98,13 @@ from repro.trajectory import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ReachabilityClient",
+    "Request",
+    "Response",
+    "QueryOptions",
+    "Router",
+    "RouteDecision",
+    "as_client",
     "ReachabilityEngine",
     "QueryService",
     "QueryPlan",

@@ -14,9 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.client import ReachabilityClient, as_client
+from repro.api.envelope import QueryOptions, Request
 from repro.core.engine import ReachabilityEngine
 from repro.core.query import MQuery
-from repro.core.service import QueryService, as_service
+from repro.core.service import QueryService
 from repro.spatial.geometry import Point
 
 
@@ -68,7 +70,7 @@ def _road_km(network, segments: set[int]) -> float:
 
 
 def analyze_coverage(
-    engine: ReachabilityEngine | QueryService,
+    engine: ReachabilityClient | ReachabilityEngine | QueryService,
     branches: list[Point],
     start_time_s: float,
     duration_s: float,
@@ -78,12 +80,12 @@ def analyze_coverage(
     """Compute chain-wide coverage and per-branch marginal contributions.
 
     Runs the union m-query and the per-branch attribution s-queries as one
-    service batch: the s-queries share warm buffer pools and deduplicated
-    bounding regions with each other, so the whole analysis costs little
-    more than the m-query itself.
+    auto-routed client batch: the s-queries share warm buffer pools and
+    deduplicated bounding regions with each other, so the whole analysis
+    costs little more than the m-query itself.
 
     Args:
-        engine: a built reachability engine or a query service over one.
+        engine: a built reachability engine, service or client.
         branches: branch locations.
         start_time_s / duration_s / prob: query parameters (e.g. "reachable
             within 15 minutes on 20% of days at 10:00").
@@ -91,16 +93,20 @@ def analyze_coverage(
     """
     if not branches:
         raise ValueError("coverage analysis needs at least one branch")
-    service = as_service(engine)
-    network = service.engine.network
+    client = as_client(engine)
+    network = client.network
     union_query = MQuery(
         locations=tuple(branches),
         start_time_s=start_time_s,
         duration_s=duration_s,
         prob=prob,
     )
-    batch = service.run_batch(
-        [union_query, *union_query.as_s_queries()], delta_t_s=delta_t_s
+    options = QueryOptions(delta_t_s=delta_t_s)
+    batch = client.run_batch(
+        [
+            Request(union_query, options),
+            *(Request(q, options) for q in union_query.as_s_queries()),
+        ]
     )
     combined, per_branch = batch.results[0], batch.results[1:]
     report = CoverageReport(segments=set(combined.segments))

@@ -18,8 +18,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.api.client import ReachabilityClient, as_client
 from repro.core.engine import ReachabilityEngine
-from repro.core.service import QueryService, as_service
+from repro.core.service import QueryService
 from repro.spatial.geometry import Point
 
 
@@ -76,7 +77,7 @@ class ArrivalProfile:
 
 
 def arrival_profile(
-    engine: ReachabilityEngine | QueryService,
+    engine: ReachabilityClient | ReachabilityEngine | QueryService,
     origin: Point,
     target: Point,
     start_time_s: float,
@@ -90,13 +91,13 @@ def arrival_profile(
     within ``[T, T+k·Δt]``; the bound reported is ``k·Δt``.
 
     Args:
-        engine: a built reachability engine.
+        engine: a built reachability engine, service or client.
         origin / target: the two locations.
         start_time_s: departure time ``T``.
         horizon_s: give up after this long.
         delta_t_s: index granularity (also the estimate resolution).
     """
-    engine = as_service(engine).engine
+    engine = as_client(engine).engine
     st = engine.st_index(delta_t_s)
     network = engine.network
     origin_segment = st.find_start_segment(origin)

@@ -13,9 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.client import ReachabilityClient, as_client
 from repro.core.engine import ReachabilityEngine
 from repro.core.query import SQuery
-from repro.core.service import QueryService, as_service
+from repro.core.service import QueryService
 from repro.core.sqmb import sqmb_bounding_region
 from repro.spatial.geometry import Point
 
@@ -37,7 +38,7 @@ class IsochroneBand:
 
 
 def isochrones(
-    engine: ReachabilityEngine | QueryService,
+    engine: ReachabilityClient | ReachabilityEngine | QueryService,
     location: Point,
     start_time_s: float,
     durations_s: list[int],
@@ -52,7 +53,7 @@ def isochrones(
     duration keeps the segments whose earliest window fits.
 
     Args:
-        engine: a built reachability engine.
+        engine: a built reachability engine, service or client.
         location: contour centre.
         start_time_s: ``T``.
         durations_s: sorted-ascending travel budgets (seconds).
@@ -66,7 +67,7 @@ def isochrones(
         return []
     ordered = sorted(durations_s)
     horizon = ordered[-1]
-    engine = as_service(engine).engine
+    engine = as_client(engine).engine
     st = engine.st_index(delta_t_s)
     con = engine.con_index(delta_t_s)
     network = engine.network

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.client import ReachabilityClient, as_client
+from repro.api.envelope import QueryOptions, Request
 from repro.core.engine import ReachabilityEngine
-from repro.core.service import QueryService, as_service
+from repro.core.service import QueryService
 from repro.core.query import SQuery
 from repro.spatial.geometry import Point
 
@@ -49,7 +51,7 @@ class RankedPOI:
 
 
 def recommend_pois(
-    engine: ReachabilityEngine | QueryService,
+    engine: ReachabilityClient | ReachabilityEngine | QueryService,
     user_location: Point,
     start_time_s: float,
     deadline_s: float,
@@ -61,7 +63,7 @@ def recommend_pois(
     """Rank the POIs reachable from the user within the deadline.
 
     Args:
-        engine: a built reachability engine.
+        engine: a built reachability engine, service or client.
         user_location: the user's current location.
         start_time_s: current time of day (seconds since midnight).
         deadline_s: travel budget ``L`` in seconds.
@@ -81,10 +83,12 @@ def recommend_pois(
         duration_s=deadline_s,
         prob=prob,
     )
-    service = as_service(engine)
-    result = service.s_query(query, delta_t_s=delta_t_s)
-    st = service.engine.st_index(delta_t_s)
-    network = service.engine.network
+    client = as_client(engine)
+    result = client.send(
+        Request(query, QueryOptions(delta_t_s=delta_t_s))
+    ).result
+    st = client.engine.st_index(delta_t_s)
+    network = client.network
     region_roads = {
         network.segment(s).canonical_id() for s in result.segments
     }

@@ -5,19 +5,23 @@ Subcommands::
     python -m repro build-dataset --out DIR [--taxis N --days N ...]
     python -m repro describe --dataset DIR
     python -m repro query   --dataset DIR --x 0 --y 0 --time 11:00 \
-                            --duration 10 --prob 0.2 [--algorithm sqmb_tbs]
+                            --duration 10 --prob 0.2 [--algorithm auto]
     python -m repro mquery  --dataset DIR --location 0,0 --location 3000,2000 ...
     python -m repro rquery  --dataset DIR --x 0 --y 0 ...
-    python -m repro batch   --dataset DIR --s-queries 20 --m-queries 5
+    python -m repro batch   --dataset DIR --s-queries 20 --m-queries 5 \
+                            --r-queries 2 --workers 4
 
 ``build-dataset`` generates and persists a synthetic ShenzhenLike dataset;
-the query commands load it, build indexes, answer through the
-:class:`~repro.core.service.QueryService`, and print the region as an
-ASCII map plus cost metrics (optionally exporting GeoJSON).  ``batch``
-runs a deterministic random workload through ``run_batch`` and prints the
-batch report, including buffer-pool cache effectiveness.  Algorithm
-choices come straight from the executor registry, so registered
-third-party algorithms are selectable without CLI changes.
+the query commands load it, build indexes, and answer through the
+:class:`~repro.api.ReachabilityClient` — every request travels as a
+:class:`~repro.api.Request` envelope, ``--algorithm auto`` (the default)
+lets the router pick the route, and ``--explain`` prints the routing
+decision plus the plan.  ``batch`` streams a deterministic random
+workload (s-, m- and reverse queries mixed) through ``client.stream``,
+printing one progress line per completed response (with its direction
+and route) before the batch report.  Algorithm choices come straight
+from the executor registry, so registered third-party algorithms are
+selectable without CLI changes.
 """
 
 from __future__ import annotations
@@ -26,10 +30,10 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.engine import ReachabilityEngine
-from repro.core.executors import execute_plan, executor_names
+from repro.api.client import ReachabilityClient
+from repro.api.envelope import AUTO, QueryOptions, Request
+from repro.core.executors import executor_names, has_executor
 from repro.core.query import MQuery, SQuery
-from repro.core.service import QueryService
 from repro.spatial.geometry import Point
 from repro.trajectory.model import day_time
 
@@ -65,19 +69,25 @@ def _add_query_args(parser: argparse.ArgumentParser) -> None:
                         help="probability threshold (default 0.2)")
     parser.add_argument("--delta-t", type=int, default=5,
                         help="index granularity Δt in minutes (default 5)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="advisory cost budget in ms (router avoids "
+                             "unbounded routes; the result reports "
+                             "whether it was met)")
     parser.add_argument("--geojson", type=Path, default=None,
                         help="write the region to this GeoJSON file")
     parser.add_argument("--no-map", action="store_true",
                         help="skip the ASCII map")
     parser.add_argument("--explain", action="store_true",
-                        help="print the query plan before executing")
+                        help="print the routing decision and query plan "
+                             "before executing")
 
 
 class CLIError(Exception):
     """User-facing CLI failure (bad paths, unreadable datasets)."""
 
 
-def _load_service(dataset_dir: str) -> tuple:
+def _load_client(dataset_dir: str) -> tuple:
+    from repro.core.engine import ReachabilityEngine
     from repro.io.persist import load_dataset
 
     try:
@@ -89,12 +99,13 @@ def _load_service(dataset_dir: str) -> tuple:
             f"{dataset_dir}"
         ) from exc
     engine = ReachabilityEngine(dataset.network, dataset.database)
-    return dataset, QueryService(engine)
+    return dataset, ReachabilityClient(engine)
 
 
-def _print_result(args, dataset, result) -> int:
+def _print_response(args, dataset, response) -> int:
     from repro.viz.ascii_map import render_region
 
+    result = response.result
     km = result.road_length_m(dataset.network) / 1000.0
     print(f"Prob-reachable region: {len(result.segments)} segments, {km:.1f} km")
     cost = result.cost
@@ -104,6 +115,12 @@ def _print_result(args, dataset, result) -> int:
         f"{cost.simulated_io_ms:.0f} ms over {cost.io.page_reads} page reads; "
         f"{cost.probability_checks} probability checks)"
     )
+    if response.within_budget is not None:
+        verdict = "met" if response.within_budget else "EXCEEDED"
+        print(
+            f"cost budget: {response.request.options.cost_budget_ms:.0f} ms "
+            f"{verdict}"
+        )
     if not args.no_map:
         print(render_region(result, dataset.network))
     if args.geojson is not None:
@@ -138,22 +155,31 @@ def cmd_build_dataset(args) -> int:
 
 
 def cmd_describe(args) -> int:
-    dataset, _ = _load_service(args.dataset)
+    dataset, _ = _load_client(args.dataset)
     for key, value in dataset.describe():
         print(f"  {key}: {value}")
     return 0
 
 
-def _run_query(args, kind: str, query) -> int:
-    dataset, service = _load_service(args.dataset)
-    plan = service.plan(
-        query, algorithm=args.algorithm, delta_t_s=args.delta_t * 60,
-        kind=kind,
+def _run_query(args, direction: str, query) -> int:
+    dataset, client = _load_client(args.dataset)
+    request = Request(
+        query,
+        QueryOptions(
+            direction=direction,
+            algorithm=args.algorithm,
+            delta_t_s=args.delta_t * 60,
+            cost_budget_ms=args.budget,
+        ),
     )
     if args.explain:
+        # Pre-flight print: routing is stateless, so this decision and
+        # plan are exactly what send() will execute.
+        plan, decision = client.plan(request)
+        print(decision.describe())
         print(plan.describe())
-    result = execute_plan(service.engine, plan, query)
-    return _print_result(args, dataset, result)
+    response = client.send(request)
+    return _print_response(args, dataset, response)
 
 
 def cmd_query(args) -> int:
@@ -163,7 +189,7 @@ def cmd_query(args) -> int:
         duration_s=args.duration * 60.0,
         prob=args.prob,
     )
-    return _run_query(args, "s", query)
+    return _run_query(args, "forward", query)
 
 
 def cmd_mquery(args) -> int:
@@ -173,7 +199,7 @@ def cmd_mquery(args) -> int:
         duration_s=args.duration * 60.0,
         prob=args.prob,
     )
-    return _run_query(args, "m", query)
+    return _run_query(args, "forward", query)
 
 
 def cmd_rquery(args) -> int:
@@ -183,26 +209,77 @@ def cmd_rquery(args) -> int:
         duration_s=args.duration * 60.0,
         prob=args.prob,
     )
-    return _run_query(args, "r", query)
+    return _run_query(args, "reverse", query)
 
 
 def cmd_batch(args) -> int:
+    from repro.core.query import MQuery
     from repro.eval.tables import format_batch_report
     from repro.eval.workload import QueryWorkload
 
-    dataset, service = _load_service(args.dataset)
+    dataset, client = _load_client(args.dataset)
+    # No algorithm name is registered for every kind, so a forced
+    # --algorithm applies to the kinds that register it and the rest of
+    # the mixed workload stays auto-routed.
+    if args.algorithm != AUTO and not any(
+        has_executor(kind, args.algorithm) for kind in ("s", "m", "r")
+    ):
+        known = sorted(
+            {name for kind in ("s", "m", "r") for name in executor_names(kind)}
+        )
+        raise CLIError(
+            f"unknown algorithm {args.algorithm!r} "
+            f"(registered: {', '.join(known)}, or auto)"
+        )
+
+    def algorithm_for(kind: str) -> str:
+        if args.algorithm != AUTO and has_executor(kind, args.algorithm):
+            return args.algorithm
+        return AUTO
+
     workload = QueryWorkload(dataset.network, seed=args.seed)
-    queries = workload.mixed_batch(
-        args.s_queries,
-        args.m_queries,
-        duration_s=args.duration * 60.0,
-        prob=args.prob,
+    requests = [
+        Request(
+            query,
+            QueryOptions(
+                algorithm=algorithm_for(
+                    "m" if isinstance(query, MQuery) else "s"
+                ),
+                delta_t_s=args.delta_t * 60,
+            ),
+        )
+        for query in workload.mixed_batch(
+            args.s_queries,
+            args.m_queries,
+            duration_s=args.duration * 60.0,
+            prob=args.prob,
+        )
+    ]
+    # Reverse traffic: the advertising-style "who can reach here?" share
+    # of a mixed tenant stream, expressible per request since the
+    # envelope carries its own direction.
+    reverse_options = QueryOptions(
+        direction="reverse",
+        algorithm=algorithm_for("r"),
+        delta_t_s=args.delta_t * 60,
+        tag="reverse",
     )
-    report = service.run_batch(
-        queries, delta_t_s=args.delta_t * 60, max_workers=args.workers
+    requests.extend(
+        Request(query, reverse_options)
+        for query in workload.s_queries(
+            args.r_queries,
+            duration_s=args.duration * 60.0,
+            prob=args.prob,
+            salt="r",
+        )
     )
+    stream = client.stream(requests, max_workers=args.workers)
+    total = len(requests)
+    for done, response in enumerate(stream, start=1):
+        print(f"[{done:>3}/{total}] {response.describe()}")
+    print()
     print(
-        format_batch_report(f"Batch report — {len(queries)} queries", report)
+        format_batch_report(f"Batch report — {total} queries", stream.report)
     )
     return 0
 
@@ -231,7 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--x", type=float, default=0.0)
     query.add_argument("--y", type=float, default=0.0)
     query.add_argument(
-        "--algorithm", choices=executor_names("s"), default="sqmb_tbs",
+        "--algorithm", choices=(AUTO, *executor_names("s")), default=AUTO,
     )
     query.set_defaults(func=cmd_query)
 
@@ -242,7 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="X,Y (repeatable)",
     )
     mquery.add_argument(
-        "--algorithm", choices=executor_names("m"), default="mqmb_tbs",
+        "--algorithm", choices=(AUTO, *executor_names("m")), default=AUTO,
     )
     mquery.set_defaults(func=cmd_mquery)
 
@@ -253,23 +330,29 @@ def build_parser() -> argparse.ArgumentParser:
     rquery.add_argument("--x", type=float, default=0.0)
     rquery.add_argument("--y", type=float, default=0.0)
     rquery.add_argument(
-        "--algorithm", choices=executor_names("r"), default="sqmb_tbs"
+        "--algorithm", choices=(AUTO, *executor_names("r")), default=AUTO,
     )
     rquery.set_defaults(func=cmd_rquery)
 
     batch = sub.add_parser(
-        "batch", help="run a random workload through the query service"
+        "batch", help="stream a random workload through the client"
     )
     batch.add_argument("--dataset", required=True, help="dataset directory")
     batch.add_argument("--s-queries", type=int, default=20,
                        help="number of s-queries (default 20)")
     batch.add_argument("--m-queries", type=int, default=5,
                        help="number of m-queries (default 5)")
+    batch.add_argument("--r-queries", type=int, default=0,
+                       help="number of reverse queries (default 0)")
     batch.add_argument("--duration", type=float, default=10.0,
                        help="s-query duration in minutes (default 10)")
     batch.add_argument("--prob", type=float, default=0.2)
     batch.add_argument("--delta-t", type=int, default=5,
                        help="index granularity Δt in minutes (default 5)")
+    batch.add_argument("--algorithm", default=AUTO,
+                       help="force this algorithm for the kinds that "
+                            "register it; other requests stay auto-routed "
+                            "(default: auto)")
     batch.add_argument("--workers", type=int, default=1,
                        help="worker threads (default 1)")
     batch.add_argument("--seed", type=int, default=7)

@@ -22,8 +22,10 @@ Query-service layers (planner -> executors -> storage):
   with the classic one-query facade.
 * :mod:`~repro.core.region_cache` — the thread-safe, service-lifetime
   bounding-region LRU shared across batches.
-* :mod:`~repro.core.service` — batch-capable :class:`QueryService`
-  (bounding-region dedup, warm pools, worker pool).
+* :mod:`~repro.core.service` — :class:`QueryService`, owner of the
+  service-lifetime caches the client pipelines execute through (its
+  classic query entry points are deprecated shims; the stable front door
+  is :mod:`repro.api`).
 * :mod:`~repro.core.explain` — ``EXPLAIN``-style plan + cost rendering.
 * :mod:`~repro.core.legacy_expansion` — pre-kernel reference
   implementations (equivalence tests and benchmark baselines).

@@ -17,6 +17,7 @@ I/O, probability checks) the evaluation chapter reports.
 
 from __future__ import annotations
 
+import warnings
 import weakref
 
 from repro.core.con_index import ConnectionIndex
@@ -192,6 +193,21 @@ class ReachabilityEngine:
             pool.invalidate()
 
     # -- classic single-query facade -------------------------------------------
+    #
+    # Deprecated shims: the stable entry point is the request/response
+    # client (repro.api.ReachabilityClient), which routes through the
+    # service-lifetime caches and records its routing decisions.  These
+    # wrappers keep the classic one-call-per-query protocol (no shared
+    # region cache: every call pays its own expansion) for old call sites.
+
+    def _deprecated(self, name: str) -> None:
+        warnings.warn(
+            f"ReachabilityEngine.{name} is deprecated; build a "
+            "repro.api.Request and answer it with "
+            "repro.api.ReachabilityClient.send",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     def s_query(
         self,
@@ -200,7 +216,7 @@ class ReachabilityEngine:
         delta_t_s: int = 300,
         warm: bool = False,
     ) -> QueryResult:
-        """Answer a single-location ST reachability query.
+        """Deprecated: answer a single-location ST reachability query.
 
         Args:
             query: the s-query ``(S, T, L, Prob)``.
@@ -211,6 +227,7 @@ class ReachabilityEngine:
                 so each execution pays its own I/O, matching the paper's
                 per-query running-time measurements).
         """
+        self._deprecated("s_query")
         plan = plan_query("s", query, algorithm, delta_t_s, warm=warm)
         return execute_plan(self, plan, query)
 
@@ -221,7 +238,7 @@ class ReachabilityEngine:
         delta_t_s: int = 300,
         warm: bool = False,
     ) -> QueryResult:
-        """Answer a multi-location ST reachability query.
+        """Deprecated: answer a multi-location ST reachability query.
 
         Args:
             query: the m-query ``({s1..sn}, T, L, Prob)``.
@@ -230,6 +247,7 @@ class ReachabilityEngine:
             delta_t_s: index granularity Δt in seconds.
             warm: as in :meth:`s_query`.
         """
+        self._deprecated("m_query")
         plan = plan_query("m", query, algorithm, delta_t_s, warm=warm)
         return execute_plan(self, plan, query)
 
@@ -240,7 +258,7 @@ class ReachabilityEngine:
         delta_t_s: int = 300,
         warm: bool = False,
     ) -> QueryResult:
-        """Answer a *reverse* reachability query: from which road segments
+        """Deprecated: answer a *reverse* reachability query: from which road segments
         can the query location be reached within ``[T, T+L]`` on at least a
         ``Prob`` fraction of days?  This is the dual that the paper's
         location-based-advertising application needs (Fig 1.2).
@@ -252,5 +270,6 @@ class ReachabilityEngine:
             delta_t_s: index granularity Δt in seconds.
             warm: as in :meth:`s_query`.
         """
+        self._deprecated("r_query")
         plan = plan_query("r", query, algorithm, delta_t_s, warm=warm)
         return execute_plan(self, plan, query)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.engine import ReachabilityEngine
 from repro.core.executors import ExecutionContext
@@ -22,6 +23,9 @@ from repro.core.planner import QueryPlan, plan_query
 from repro.core.probability import ProbabilityEstimator
 from repro.core.query import MQuery, SQuery
 from repro.core.tbs import trace_back_search
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.router import RouteDecision
 
 
 @dataclass
@@ -40,6 +44,9 @@ class QueryExplanation:
 
     Attributes:
         plan: the routing decisions the planner made for the query.
+        route: the adaptive-routing decision that chose the plan, when
+            the explanation came through the client API (``"auto"``
+            classification rule, reason and shape features).
         stages: per-stage costs, in execution order.
         region_segments: result size.
         max_cover / min_cover: bounding-region sizes.
@@ -49,6 +56,7 @@ class QueryExplanation:
     """
 
     plan: QueryPlan | None = None
+    route: "RouteDecision | None" = None
     stages: list[StageCost] = field(default_factory=list)
     region_segments: int = 0
     max_cover: int = 0
@@ -58,6 +66,8 @@ class QueryExplanation:
 
     def to_text(self) -> str:
         lines = ["QUERY PLAN (SQMB + TBS)"]
+        if self.route is not None:
+            lines.append(f"  {self.route.describe()}")
         if self.plan is not None:
             lines.append(f"  {self.plan.describe()}")
         for stage in self.stages:

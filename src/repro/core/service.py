@@ -26,10 +26,9 @@ eviction counters from :class:`~repro.storage.disk.DiskStats`).
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ThreadPoolExecutor
+import warnings
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.engine import ReachabilityEngine
 from repro.core.executors import ExecutionContext, execute_plan
@@ -37,6 +36,9 @@ from repro.core.planner import QueryPlan, plan_query
 from repro.core.query import MQuery, QueryResult, SQuery
 from repro.core.region_cache import RegionCache
 from repro.storage.disk import DiskStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.router import RouteDecision
 
 #: Default algorithm per query kind (the paper's methods).
 DEFAULT_ALGORITHMS = {"s": "sqmb_tbs", "m": "mqmb_tbs", "r": "sqmb_tbs"}
@@ -61,10 +63,13 @@ class BatchReport:
         regions_computed: bounding regions expanded from the Con-Index.
         regions_reused: bounding regions served from the batch cache.
         plans_reused: queries that shared an earlier query's plan.
+        routes: the routing decision behind each plan, in submission
+            order (``rule="forced"`` for explicitly-named algorithms).
     """
 
     results: list[QueryResult] = field(default_factory=list)
     plans: list[QueryPlan] = field(default_factory=list)
+    routes: list["RouteDecision"] = field(default_factory=list)
     wall_time_s: float = 0.0
     io: DiskStats = field(default_factory=DiskStats)
     simulated_io_ms: float = 0.0
@@ -178,6 +183,59 @@ class QueryService:
 
     # -- single queries ------------------------------------------------------
 
+    def run_plan(
+        self,
+        plan: QueryPlan,
+        query: SQuery | MQuery,
+        reuse_regions: bool = True,
+    ) -> tuple[QueryResult, ExecutionContext]:
+        """Run one planned query through the service-lifetime caches.
+
+        The single execution path behind both the client API's ``send``
+        and the deprecated per-kind wrappers: a fresh
+        :class:`ExecutionContext` wired to the service's bounding-region
+        cache (unless ``reuse_regions`` is off), so repeated
+        identically-shaped queries do not re-expand their bounds.
+
+        Returns the result plus the context, whose
+        ``regions_computed``/``regions_reused`` counters are exact for
+        this execution.
+        """
+        context = ExecutionContext(
+            self.engine,
+            plan.delta_t_s,
+            region_cache=self.region_cache if reuse_regions else None,
+        )
+        return execute_plan(self.engine, plan, query, context=context), context
+
+    def execute(
+        self,
+        query: SQuery | MQuery,
+        algorithm: str | None = None,
+        delta_t_s: int | None = None,
+        kind: str | None = None,
+        warm: bool = False,
+    ) -> QueryResult:
+        """Plan and run one query through the service-lifetime caches.
+
+        Single queries run against cold buffer pools unless ``warm`` (the
+        paper's per-query protocol), but share the bounding-region cache
+        with every other query on this service.  This is the execution
+        path behind the deprecated per-kind wrappers; new code should
+        use :class:`repro.api.ReachabilityClient`.
+        """
+        plan = self.plan(query, algorithm, delta_t_s, kind, warm)
+        result, _ = self.run_plan(plan, query)
+        return result
+
+    def _deprecated(self, name: str) -> None:
+        warnings.warn(
+            f"QueryService.{name} is deprecated; build a repro.api.Request "
+            "and answer it with repro.api.ReachabilityClient.send",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def query(
         self,
         query: SQuery | MQuery,
@@ -186,18 +244,24 @@ class QueryService:
         kind: str | None = None,
         warm: bool = False,
     ) -> QueryResult:
-        """Answer one query (s/m dispatched from the query type)."""
-        plan = self.plan(query, algorithm, delta_t_s, kind, warm)
-        return execute_plan(self.engine, plan, query)
+        """Deprecated: answer one query (use the client API instead)."""
+        self._deprecated("query")
+        return self.execute(query, algorithm, delta_t_s, kind, warm)
 
     def s_query(self, query: SQuery, **kw) -> QueryResult:
-        return self.query(query, kind="s", **kw)
+        """Deprecated: use :meth:`repro.api.ReachabilityClient.send`."""
+        self._deprecated("s_query")
+        return self.execute(query, kind="s", **kw)
 
     def m_query(self, query: MQuery, **kw) -> QueryResult:
-        return self.query(query, kind="m", **kw)
+        """Deprecated: use :meth:`repro.api.ReachabilityClient.send`."""
+        self._deprecated("m_query")
+        return self.execute(query, kind="m", **kw)
 
     def r_query(self, query: SQuery, **kw) -> QueryResult:
-        return self.query(query, kind="r", **kw)
+        """Deprecated: use :meth:`repro.api.ReachabilityClient.send`."""
+        self._deprecated("r_query")
+        return self.execute(query, kind="r", **kw)
 
     # -- batches ----------------------------------------------------------------
 
@@ -211,6 +275,15 @@ class QueryService:
         max_workers: int = 1,
     ) -> BatchReport:
         """Run a batch of queries, sharing work between them.
+
+        A thin aggregation over the client API's streaming pipeline
+        (:meth:`repro.api.ReachabilityClient.run_batch`): each query is
+        wrapped in a :class:`repro.api.Request` carrying the batch-global
+        kwargs, streamed through the shared worker-pool pipeline, and
+        the totals are collected into the classic :class:`BatchReport`.
+        Per-request intent (mixed directions, per-query algorithms)
+        needs the client API directly — this signature keeps ``kind``
+        and ``algorithm`` batch-global for compatibility.
 
         The batch pays one cold start (unless ``warm``), after which all
         queries run against warm buffer pools and a shared bounding-region
@@ -229,65 +302,33 @@ class QueryService:
         Returns:
             The :class:`BatchReport`.
         """
-        query_list = list(queries)
+        from repro.api.client import ReachabilityClient
+        from repro.api.envelope import QueryOptions, Request
+
         dt = delta_t_s if delta_t_s is not None else self.delta_t_s
-        report = BatchReport()
-        if not query_list:
-            return report
-        plan_cache: dict[QueryPlan, QueryPlan] = {}
-        for query in query_list:
+        requests = []
+        for query in queries:
             resolved_kind = kind if kind is not None else kind_of(query)
             algo = (
                 algorithm
                 if algorithm is not None
                 else DEFAULT_ALGORITHMS[resolved_kind]
             )
-            # Queries in the batch always run warm: the batch-level cold
-            # start below is the only cache invalidation.
-            plan = plan_query(resolved_kind, query, algo, dt, warm=True)
-            cached = plan_cache.get(plan)
-            if cached is not None:
-                report.plans_reused += 1
-                plan = cached
-            else:
-                plan_cache[plan] = plan
-            report.plans.append(plan)
-        # Build indexes up front so construction writes don't pollute the
-        # batch accounting (index construction is offline work).
-        self.engine.st_index(dt)
-        if any(plan.uses_con_index for plan in report.plans):
-            self.engine.con_index(dt)
-        context = ExecutionContext(
-            self.engine, dt, region_cache=self.region_cache
-        )
-        if not warm:
-            self.engine.invalidate_caches()
-        before = self.engine.disk.snapshot()
-        started = time.perf_counter()
-        if max_workers > 1:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                report.results = list(
-                    pool.map(
-                        lambda pair: execute_plan(
-                            self.engine, pair[0], pair[1], context=context
+            requests.append(
+                Request(
+                    query,
+                    QueryOptions(
+                        direction=(
+                            "reverse" if resolved_kind == "r" else "forward"
                         ),
-                        zip(report.plans, query_list),
-                    )
+                        algorithm=algo,
+                        delta_t_s=dt,
+                    ),
                 )
-        else:
-            report.results = [
-                execute_plan(self.engine, plan, query, context=context)
-                for plan, query in zip(report.plans, query_list)
-            ]
-        diff = self.engine.disk.snapshot() - before
-        report.wall_time_s = time.perf_counter() - started
-        report.io = diff
-        report.simulated_io_ms = (
-            diff.page_reads * self.engine.disk.read_latency_ms
+            )
+        return ReachabilityClient(self).run_batch(
+            requests, warm=warm, max_workers=max_workers
         )
-        report.regions_computed = context.regions_computed
-        report.regions_reused = context.regions_reused
-        return report
 
 
 def as_service(target: QueryService | ReachabilityEngine) -> QueryService:

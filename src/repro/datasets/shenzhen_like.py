@@ -95,6 +95,20 @@ TEST_CONFIG = ShenzhenLikeConfig(
 )
 
 
+def demo_config(config: ShenzhenLikeConfig) -> ShenzhenLikeConfig:
+    """The demo configuration, shrunk to :data:`TEST_CONFIG` under CI.
+
+    The example scripts build a city that takes a few seconds; with the
+    ``REPRO_TEST_CONFIG`` environment variable set (the CI examples
+    gate) they run the same code paths on the sub-second test city.
+    """
+    import os
+
+    if os.environ.get("REPRO_TEST_CONFIG"):
+        return TEST_CONFIG
+    return config
+
+
 @dataclass
 class ShenzhenLikeDataset:
     """A fully built dataset: network + trajectories + speed profile."""

@@ -6,19 +6,24 @@ reachable road length) for each algorithm at each x-axis value.  The
 benchmark modules print these rows as the paper-style series and feed
 representative queries to pytest-benchmark.
 
-All sweeps go through the :class:`~repro.core.service.QueryService`
-planner/executor path; each function accepts either a service or a bare
-engine (adapted on the fly), and every sweep point is measured with cold
-buffer pools, matching the paper's per-query running-time protocol.
+All sweeps go through the :class:`~repro.api.ReachabilityClient`
+request/response path; each function accepts a client, a service or a
+bare engine (adapted on the fly), and every sweep point is measured with
+cold buffer pools *and* fresh bounding regions
+(``reuse_regions=False``), matching the paper's per-query running-time
+protocol — the service-lifetime region cache would otherwise hide the
+Con-Index expansion cost of repeated same-shape sweep points.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.client import ReachabilityClient, as_client
+from repro.api.envelope import QueryOptions, Request
 from repro.core.engine import ReachabilityEngine
 from repro.core.query import MQuery, SQuery
-from repro.core.service import BatchReport, QueryService, as_service
+from repro.core.service import BatchReport, QueryService
 from repro.eval.metrics import region_road_length_km
 from repro.spatial.geometry import Point
 
@@ -51,22 +56,33 @@ class SweepPoint:
 
 
 def _measure(
-    service: QueryService | ReachabilityEngine,
+    target: ReachabilityClient | QueryService | ReachabilityEngine,
     query: SQuery | MQuery,
     algorithm: str,
     delta_t_s: int,
     x: float,
     label: str = "",
 ) -> SweepPoint:
-    service = as_service(service)
-    result = service.query(query, algorithm=algorithm, delta_t_s=delta_t_s)
+    client = as_client(target)
+    response = client.send(
+        Request(
+            query,
+            QueryOptions(
+                algorithm=algorithm, delta_t_s=delta_t_s,
+                # The paper's protocol: every point pays its own
+                # bounding-region expansion.
+                reuse_regions=False,
+            ),
+        )
+    )
+    result = response.result
     return SweepPoint(
         x=x,
         algorithm=algorithm,
         running_time_ms=result.cost.total_cost_ms,
         wall_ms=result.cost.wall_time_s * 1e3,
         io_ms=result.cost.simulated_io_ms,
-        road_length_km=region_road_length_km(result, service.engine.network),
+        road_length_km=region_road_length_km(result, client.network),
         region_segments=len(result.segments),
         probability_checks=result.cost.probability_checks,
         label=label,
@@ -78,42 +94,53 @@ _measure_m = _measure
 
 
 def run_workload_batch(
-    engine: ReachabilityEngine | QueryService,
+    engine: ReachabilityClient | ReachabilityEngine | QueryService,
     queries,
     algorithm: str | None = None,
     delta_t_s: int = 300,
     max_workers: int = 1,
     repeats: int = 1,
 ) -> BatchReport:
-    """Run a query workload as one service batch (throughput protocol).
+    """Run a query workload as one streamed batch (throughput protocol).
 
     Unlike the figure sweeps — which pay cold I/O per query, matching the
     paper's per-query measurements — a batch shares warm buffer pools and
     deduplicated bounding regions across the whole workload, which is the
     deployment-facing number.
 
-    Pass a :class:`QueryService` (rather than a bare engine) to keep its
-    service-lifetime region cache across calls; with ``repeats > 1`` the
-    workload is run that many times against one service and the *last*
-    report is returned — the steady-state number, where every bounding
-    region is served from the cross-batch cache.
+    Pass a client or :class:`QueryService` (rather than a bare engine) to
+    keep the service-lifetime region cache across calls; with
+    ``repeats > 1`` the workload is run that many times against one
+    service and the *last* report is returned — the steady-state number,
+    where every bounding region is served from the cross-batch cache.
+
+    The workload may mix plain queries and :class:`repro.api.Request`
+    envelopes (per-request direction/algorithm); ``algorithm`` overrides
+    the route for plain queries only.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    service = as_service(engine)
+    client = as_client(engine)
+    requests = [
+        query
+        if isinstance(query, Request)
+        else Request(
+            query,
+            QueryOptions(
+                algorithm=algorithm if algorithm is not None else "auto",
+                delta_t_s=delta_t_s,
+            ),
+        )
+        for query in queries
+    ]
     report = None
     for _ in range(repeats):
-        report = service.run_batch(
-            queries,
-            algorithm=algorithm,
-            delta_t_s=delta_t_s,
-            max_workers=max_workers,
-        )
+        report = client.run_batch(requests, max_workers=max_workers)
     return report
 
 
 def run_duration_sweep(
-    engine: ReachabilityEngine | QueryService,
+    engine: ReachabilityClient | ReachabilityEngine | QueryService,
     location: Point,
     durations_s: tuple[int, ...],
     start_time_s: float,
@@ -142,7 +169,7 @@ def run_duration_sweep(
 
 
 def run_probability_sweep(
-    engine: ReachabilityEngine | QueryService,
+    engine: ReachabilityClient | ReachabilityEngine | QueryService,
     location: Point,
     probabilities: tuple[float, ...],
     start_time_s: float,
@@ -170,7 +197,7 @@ def run_probability_sweep(
 
 
 def run_start_time_sweep(
-    engine: ReachabilityEngine | QueryService,
+    engine: ReachabilityClient | ReachabilityEngine | QueryService,
     location: Point,
     start_times_s: tuple[int, ...],
     durations_s: tuple[int, ...] = (300, 600),
@@ -192,7 +219,7 @@ def run_start_time_sweep(
 
 
 def run_interval_sweep(
-    engine: ReachabilityEngine | QueryService,
+    engine: ReachabilityClient | ReachabilityEngine | QueryService,
     location: Point,
     intervals_s: tuple[int, ...],
     start_time_s: float,
@@ -221,7 +248,7 @@ def run_interval_sweep(
 
 
 def run_mquery_duration_sweep(
-    engine: ReachabilityEngine | QueryService,
+    engine: ReachabilityClient | ReachabilityEngine | QueryService,
     locations: tuple[Point, ...],
     durations_s: tuple[int, ...],
     start_time_s: float,
@@ -245,7 +272,7 @@ def run_mquery_duration_sweep(
 
 
 def run_location_count_sweep(
-    engine: ReachabilityEngine | QueryService,
+    engine: ReachabilityClient | ReachabilityEngine | QueryService,
     locations: tuple[Point, ...],
     counts: tuple[int, ...],
     start_time_s: float,

@@ -80,9 +80,17 @@ class QueryWorkload:
         duration_s: float = 600.0,
         prob: float = 0.2,
         start_time_s: float | None = None,
+        salt: str = "s",
     ) -> list[SQuery]:
-        """A batch of s-queries at random downtown locations."""
-        rng = self._rng("s")
+        """A batch of s-queries at random downtown locations.
+
+        Args:
+            salt: RNG stream discriminator — callers drawing several
+                independent traffic shares (e.g. forward and reverse
+                queries) pass distinct salts so the shares do not
+                duplicate each other query for query.
+        """
+        rng = self._rng(salt)
         queries = []
         for _ in range(count):
             start = (

@@ -180,6 +180,50 @@ class TestCLI:
         assert code == 0
         assert "Prob-reachable region" in capsys.readouterr().out
 
+    def test_query_explain_prints_route(self, dataset_dir, capsys):
+        code = main([
+            "query", "--dataset", dataset_dir, "--no-map", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "route: s-query -> 'sqmb_tbs'" in out
+        assert "rule paper-s" in out
+
+    def test_batch_streams_progress_with_directions(self, dataset_dir, capsys):
+        code = main([
+            "batch", "--dataset", dataset_dir,
+            "--s-queries", "2", "--m-queries", "1", "--r-queries", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        progress = [line for line in out.splitlines() if line.startswith("[")]
+        # One streamed progress line per request, each naming a direction.
+        assert len(progress) == 4
+        assert all(" forward " in p or " reverse " in p for p in progress)
+        assert sum(" reverse " in p for p in progress) == 1
+        assert "[  4/4]" in progress[-1]
+        assert "Batch report" in out and "Bounding regions" in out
+
+    def test_batch_forced_algorithm_applies_per_kind(self, dataset_dir, capsys):
+        """A forced algorithm covers the kinds that register it; the
+        rest of the mixed workload stays auto-routed."""
+        code = main([
+            "batch", "--dataset", dataset_dir, "--algorithm", "sqmb_tbs",
+            "--s-queries", "1", "--m-queries", "1", "--r-queries", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert " s/sqmb_tbs " in out
+        assert " r/sqmb_tbs " in out
+        assert " m/mqmb_tbs " in out  # auto: sqmb_tbs has no m executor
+
+    def test_batch_unknown_algorithm_friendly_error(self, dataset_dir, capsys):
+        code = main([
+            "batch", "--dataset", dataset_dir, "--algorithm", "nope",
+        ])
+        assert code == 2
+        assert "unknown algorithm 'nope'" in capsys.readouterr().err
+
     def test_bad_location_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(
