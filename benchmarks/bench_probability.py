@@ -1,0 +1,290 @@
+#!/usr/bin/env python
+"""Probability-kernel benchmark harness: columnar Eq. 3.1 vs scalar sets.
+
+Writes ``BENCH_probability.json`` with three sections:
+
+* ``microbench`` — the probability primitives head to head on a warmed
+  buffer pool (so the timings isolate evaluation work, not disk churn):
+  estimator construction (start-set gather), batched evaluation over a
+  realistic candidate set (the query's Far cover), wave-based TBS and ES
+  verification sweeps, each against its scalar reference from
+  :mod:`repro.core.legacy_probability`;
+* ``fig41_sweep`` — a Fig 4.1(a)-style duration sweep of *end-to-end*
+  ``sqmb_tbs`` queries, run twice through the client: once on the
+  columnar kernel and once with the executors temporarily routed through
+  the scalar probability path (:func:`legacy_probability_path`);
+* ``batch_throughput`` — ``QueryService.run_batch`` over a mixed
+  workload, columnar vs scalar probability path, with queries/s.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_probability.py [--quick] [--out PATH]
+
+``--quick`` uses the reduced dataset and fewer repetitions — the CI smoke
+configuration.  Every section reports the median of ``repeat`` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+from repro.api import QueryOptions, ReachabilityClient, Request
+from repro.core import legacy_probability as legacy
+from repro.core.baseline import exhaustive_search
+from repro.core.engine import ReachabilityEngine
+from repro.core.executors import ExecutionContext
+from repro.core.probability import ProbabilityEstimator
+from repro.core.query import MQuery, SQuery
+from repro.core.service import QueryService
+from repro.core.tbs import trace_back_search
+from repro.datasets.shenzhen_like import default_dataset
+from repro.eval import config
+from repro.eval.workload import QueryWorkload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def median_ms(fn, repeat: int) -> float:
+    """Median wall time of ``fn()`` over ``repeat`` runs, in ms."""
+    times = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        times.append((time.perf_counter() - started) * 1e3)
+    return statistics.median(times)
+
+
+def paired_median_ms(fn_a, fn_b, repeat: int) -> tuple[float, float]:
+    """Interleaved medians of two contenders, alternating who runs first
+    each repetition (robust to machine drift and cache-warmth order bias)."""
+    a_times, b_times = [], []
+    for i in range(repeat):
+        first, second = (fn_a, fn_b) if i % 2 == 0 else (fn_b, fn_a)
+        started = time.perf_counter()
+        first()
+        first_ms = (time.perf_counter() - started) * 1e3
+        started = time.perf_counter()
+        second()
+        second_ms = (time.perf_counter() - started) * 1e3
+        if i % 2 == 0:
+            a_times.append(first_ms)
+            b_times.append(second_ms)
+        else:
+            a_times.append(second_ms)
+            b_times.append(first_ms)
+    return statistics.median(a_times), statistics.median(b_times)
+
+
+def bench_micro(engine, settings, repeat: int) -> list[dict]:
+    """The probability primitives, columnar vs scalar, on warm pools."""
+    st = engine.st_index(settings.delta_t_s)
+    database = engine.database
+    start = st.find_start_segment(settings.location)
+    T = float(settings.start_time_s)
+    L = float(settings.duration_s)
+    context = ExecutionContext(engine, settings.delta_t_s)
+    max_region = context.bounding_region("sqmb", (start,), T, L, "far")
+    min_region = context.bounding_region("sqmb", (start,), T, L, "near")
+    candidates = sorted(max_region.cover)
+
+    def new_estimator():
+        return ProbabilityEstimator(st, start, T, L, database.num_days)
+
+    def old_estimator():
+        return legacy.LegacyProbabilityEstimator(
+            st, start, T, L, database.num_days
+        )
+
+    # Warm every page both sides will touch, so timings measure
+    # evaluation work (decode caches, set building, membership probes),
+    # not first-touch disk reads.
+    old_estimator().probabilities(candidates)
+    new_estimator().probabilities(candidates)
+
+    rows: list[dict] = []
+
+    def row(name, new_fn, old_fn, extra=None):
+        new_ms, old_ms = paired_median_ms(new_fn, old_fn, repeat)
+        entry = {
+            "name": name,
+            "kernel_ms": round(new_ms, 3),
+            "legacy_ms": round(old_ms, 3),
+            "speedup": round(old_ms / new_ms, 2) if new_ms > 0 else None,
+        }
+        if extra:
+            entry.update(extra)
+        rows.append(entry)
+
+    row(
+        "estimator construction (start-set gather)",
+        new_estimator,
+        old_estimator,
+    )
+    row(
+        f"batch probability evaluation ({len(candidates)} candidates)",
+        lambda: new_estimator().probabilities(candidates),
+        lambda: old_estimator().probabilities(candidates),
+        extra={"candidates": len(candidates)},
+    )
+    row(
+        "single probability (adaptive path)",
+        lambda: new_estimator().probability(candidates[len(candidates) // 2]),
+        lambda: old_estimator().probability(candidates[len(candidates) // 2]),
+    )
+    row(
+        "trace_back_search (waves vs FIFO)",
+        lambda: trace_back_search(
+            engine.network, {start: new_estimator()}, settings.prob,
+            max_region, min_region,
+        ),
+        lambda: legacy.trace_back_search_reference(
+            engine.network, {start: old_estimator()}, settings.prob,
+            max_region, min_region,
+        ),
+    )
+    row(
+        "exhaustive_search (waves vs FIFO)",
+        lambda: exhaustive_search(engine.network, new_estimator(), settings.prob),
+        lambda: legacy.exhaustive_search_reference(
+            engine.network, old_estimator(), settings.prob
+        ),
+    )
+    return rows
+
+
+def bench_fig41_sweep(engine, settings, durations_s, repeat: int) -> list[dict]:
+    """End-to-end sqmb_tbs queries over durations, kernel vs scalar path."""
+    client = ReachabilityClient(engine)
+    rows = []
+    for duration_s in durations_s:
+        query = SQuery(
+            settings.location, settings.start_time_s, duration_s, settings.prob
+        )
+        # reuse_regions=False: every run pays its own bounding-region
+        # expansion, keeping the two paths' non-probability work equal.
+        request = Request(
+            query,
+            QueryOptions(
+                algorithm="sqmb_tbs", delta_t_s=settings.delta_t_s,
+                reuse_regions=False,
+            ),
+        )
+
+        def run():
+            return client.send(request).result
+
+        def run_legacy():
+            with legacy.legacy_probability_path():
+                return run()
+
+        run()  # warm the con-index entries for this duration
+        run_legacy()
+        kernel_ms, legacy_ms = paired_median_ms(run, run_legacy, repeat)
+        check = run()
+        check_legacy = run_legacy()
+        assert check.segments == check_legacy.segments, "kernel changed results"
+        assert (
+            check.cost.io.page_reads == check_legacy.cost.io.page_reads
+        ), "kernel changed page accounting"
+        rows.append(
+            {
+                "duration_min": duration_s // 60,
+                "kernel_ms": round(kernel_ms, 3),
+                "legacy_ms": round(legacy_ms, 3),
+                "speedup": round(legacy_ms / kernel_ms, 2)
+                if kernel_ms > 0 else None,
+            }
+        )
+    return rows
+
+
+def bench_batch_throughput(engine, settings, batch_size: int, repeat: int) -> dict:
+    """run_batch over a mixed workload: columnar vs scalar probability path."""
+    workload = QueryWorkload(engine.network, seed=17)
+    batch: list[SQuery | MQuery] = workload.mixed_batch(
+        batch_size, max(1, batch_size // 4), start_time_s=settings.start_time_s
+    )
+
+    def run_cold():
+        service = QueryService(engine, delta_t_s=settings.delta_t_s)
+        return service.run_batch(batch, delta_t_s=settings.delta_t_s)
+
+    def run_cold_legacy():
+        with legacy.legacy_probability_path():
+            return run_cold()
+
+    run_cold()  # warm con-index entries / time lists on disk
+    run_cold_legacy()
+    kernel_ms, legacy_ms = paired_median_ms(run_cold, run_cold_legacy, repeat)
+    report = run_cold()
+    return {
+        "batch_queries": len(batch),
+        "legacy_ms": round(legacy_ms, 3),
+        "kernel_ms": round(kernel_ms, 3),
+        "speedup": round(legacy_ms / kernel_ms, 2),
+        "queries_per_s_legacy": round(len(batch) / (legacy_ms / 1e3), 1),
+        "queries_per_s_kernel": round(len(batch) / (kernel_ms / 1e3), 1),
+        "probability_checks": report.probability_checks,
+        "kernel_evals": report.kernel_probability_evals,
+        "scalar_evals": report.scalar_probability_evals,
+        "probability_waves": report.probability_waves,
+        "max_wave_size": report.max_wave_size,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced dataset and repetitions (CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_probability.json",
+        help="output JSON path (default: repo-root BENCH_probability.json)",
+    )
+    args = parser.parse_args()
+    settings = config.SMALL_SETTINGS if args.quick else config.DEFAULT_SETTINGS
+    repeat = 3 if args.quick else 7
+    durations = (300, 600, 900) if args.quick else (300, 600, 900, 1200, 1500)
+    batch_size = 8 if args.quick else 16
+
+    started = time.perf_counter()
+    print(f"building dataset ({'quick' if args.quick else 'full'}) ...")
+    dataset = default_dataset(settings.dataset)
+    engine = ReachabilityEngine(dataset.network, dataset.database)
+    engine.st_index(settings.delta_t_s)
+    print(f"dataset ready in {time.perf_counter() - started:.1f}s; benchmarking ...")
+
+    micro = bench_micro(engine, settings, repeat)
+    sweep = bench_fig41_sweep(engine, settings, durations, repeat)
+    throughput = bench_batch_throughput(engine, settings, batch_size, repeat)
+
+    report = {
+        "benchmark": "columnar Eq. 3.1 probability kernel + wave evaluation",
+        "mode": "quick" if args.quick else "full",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "dataset": {
+            "segments": engine.network.num_segments,
+            "trajectories": len(engine.database),
+            "delta_t_s": settings.delta_t_s,
+        },
+        "microbench": micro,
+        "fig41_sweep": sweep,
+        "batch_throughput": throughput,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

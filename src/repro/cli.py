@@ -115,6 +115,12 @@ def _print_response(args, dataset, response) -> int:
         f"{cost.simulated_io_ms:.0f} ms over {cost.io.page_reads} page reads; "
         f"{cost.probability_checks} probability checks)"
     )
+    if cost.probability_checks:
+        print(
+            f"probability path: {cost.kernel_probability_evals} kernel / "
+            f"{cost.scalar_probability_evals} scalar evals over "
+            f"{cost.probability_waves} waves (max {cost.max_wave_size})"
+        )
     if response.within_budget is not None:
         verdict = "met" if response.within_budget else "EXCEEDED"
         print(

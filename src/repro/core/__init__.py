@@ -5,6 +5,8 @@ Index and algorithm layers:
 * :mod:`~repro.core.st_index` — the Spatio-Temporal Index (§3.2.1).
 * :mod:`~repro.core.con_index` — the Connection Index (§3.2.2).
 * :mod:`~repro.core.probability` — Eq. 3.1 reachability probabilities.
+* :mod:`~repro.core.prob_kernel` — the columnar Eq. 3.1 kernel (packed
+  visit keys, batched wave evaluation) behind both estimators.
 * :mod:`~repro.core.sqmb` — Algorithm 1 (s-query max/min bounding region).
 * :mod:`~repro.core.tbs` — Algorithm 2 (trace-back search).
 * :mod:`~repro.core.mqmb` — Algorithm 3 (m-query bounding region).
@@ -27,7 +29,8 @@ Query-service layers (planner -> executors -> storage):
   classic query entry points are deprecated shims; the stable front door
   is :mod:`repro.api`).
 * :mod:`~repro.core.explain` — ``EXPLAIN``-style plan + cost rendering.
-* :mod:`~repro.core.legacy_expansion` — pre-kernel reference
+* :mod:`~repro.core.legacy_expansion` /
+  :mod:`~repro.core.legacy_probability` — pre-kernel reference
   implementations (equivalence tests and benchmark baselines).
 """
 

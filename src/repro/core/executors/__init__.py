@@ -44,14 +44,18 @@ class ExecutionOutcome:
 
     Attributes:
         result: the query result (cost filled in by :func:`execute_plan`).
-        estimators: probability estimators consulted (their ``checks``
-            counters feed the cost metrics).
+        estimators: probability estimators consulted (their ``checks`` /
+            ``kernel_evals`` / ``scalar_evals`` counters feed the cost
+            metrics).
         examined: segments whose probability was actually verified.
+        wave_sizes: members per batched probability-evaluation wave, in
+            search order (TBS boundary waves, ES frontier levels).
     """
 
     result: QueryResult = field(default_factory=QueryResult)
     estimators: list = field(default_factory=list)
     examined: int = 0
+    wave_sizes: list[int] = field(default_factory=list)
 
 
 Executor = Callable[["ExecutionContext", "QueryPlan", SQuery | MQuery], ExecutionOutcome]
@@ -280,6 +284,14 @@ def execute_plan(
         simulated_io_ms=diff.page_reads * engine.disk.read_latency_ms,
         probability_checks=sum(e.checks for e in outcome.estimators),
         segments_expanded=outcome.examined,
+        kernel_probability_evals=sum(
+            getattr(e, "kernel_evals", 0) for e in outcome.estimators
+        ),
+        scalar_probability_evals=sum(
+            getattr(e, "scalar_evals", 0) for e in outcome.estimators
+        ),
+        probability_waves=len(outcome.wave_sizes),
+        max_wave_size=max(outcome.wave_sizes, default=0),
     )
     return result
 

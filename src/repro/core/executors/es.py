@@ -38,6 +38,7 @@ def _execute_exhaustive(
     outcome.result.segments = es.region
     outcome.result.probabilities = es.probabilities
     outcome.examined = es.examined
+    outcome.wave_sizes = es.wave_sizes
     return outcome
 
 

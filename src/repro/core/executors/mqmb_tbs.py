@@ -57,4 +57,5 @@ def execute_mqmb_tbs(
     result.max_region = max_region
     result.min_region = min_region
     outcome.examined = tbs.examined
+    outcome.wave_sizes = tbs.wave_sizes
     return outcome

@@ -60,6 +60,7 @@ def execute_reverse_sqmb_tbs(
     result.max_region = max_region
     result.min_region = min_region
     outcome.examined = tbs.examined
+    outcome.wave_sizes = tbs.wave_sizes
     return outcome
 
 
@@ -79,4 +80,5 @@ def execute_reverse_es(
     outcome.result.segments = es.region
     outcome.result.probabilities = es.probabilities
     outcome.examined = es.examined
+    outcome.wave_sizes = es.wave_sizes
     return outcome

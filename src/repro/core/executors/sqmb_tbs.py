@@ -55,6 +55,7 @@ def execute_sqmb_tbs(
     result.max_region = max_region
     result.min_region = min_region
     outcome.examined = tbs.examined
+    outcome.wave_sizes = tbs.wave_sizes
     return outcome
 
 
@@ -76,6 +77,7 @@ def execute_each(
         starts.extend(sub.result.start_segments)
         merged.estimators.extend(sub.estimators)
         merged.examined += sub.examined
+        merged.wave_sizes.extend(sub.wave_sizes)
     merged.result.start_segments = tuple(dict.fromkeys(starts))
     return merged
 

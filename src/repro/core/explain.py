@@ -53,6 +53,10 @@ class QueryExplanation:
         examined: segments whose probability was actually verified.
         skipped_interior: segments accepted without any trajectory read —
             the paper's headline saving.
+        prob_waves: members per batched probability wave the trace-back
+            dequeued.
+        kernel_evals / scalar_evals: Eq. 3.1 evaluations served by the
+            columnar kernel vs the tiny-input scalar fast path.
     """
 
     plan: QueryPlan | None = None
@@ -63,6 +67,9 @@ class QueryExplanation:
     min_cover: int = 0
     examined: int = 0
     skipped_interior: int = 0
+    prob_waves: list[int] = field(default_factory=list)
+    kernel_evals: int = 0
+    scalar_evals: int = 0
 
     def to_text(self) -> str:
         lines = ["QUERY PLAN (SQMB + TBS)"]
@@ -81,6 +88,13 @@ class QueryExplanation:
             f"verified={self.examined}, accepted unverified="
             f"{self.skipped_interior}"
         )
+        if self.prob_waves:
+            lines.append(
+                f"  probability path: {self.kernel_evals} kernel / "
+                f"{self.scalar_evals} scalar evals over "
+                f"{len(self.prob_waves)} waves "
+                f"(max {max(self.prob_waves)})"
+            )
         return "\n".join(lines)
 
 
@@ -108,12 +122,21 @@ class _StageRecorder:
         return value
 
 
-def _finish_from_tbs(explanation, tbs, max_region, min_region) -> None:
+def _finish_from_tbs(
+    explanation, tbs, max_region, min_region, estimators
+) -> None:
     explanation.region_segments = len(tbs.region)
     explanation.max_cover = len(max_region.cover)
     explanation.min_cover = len(min_region.cover)
     explanation.examined = tbs.examined
     explanation.skipped_interior = max(0, len(tbs.region) - len(tbs.passed))
+    explanation.prob_waves = list(tbs.wave_sizes)
+    explanation.kernel_evals = sum(
+        getattr(e, "kernel_evals", 0) for e in estimators
+    )
+    explanation.scalar_evals = sum(
+        getattr(e, "scalar_evals", 0) for e in estimators
+    )
 
 
 def explain_s_query(
@@ -178,7 +201,7 @@ def explain_s_query(
             max_region, min_region,
         ),
     )
-    _finish_from_tbs(explanation, tbs, max_region, min_region)
+    _finish_from_tbs(explanation, tbs, max_region, min_region, [estimator])
     return explanation
 
 
@@ -242,5 +265,7 @@ def explain_m_query(
             engine.network, live, query.prob, max_region, min_region
         ),
     )
-    _finish_from_tbs(explanation, tbs, max_region, min_region)
+    _finish_from_tbs(
+        explanation, tbs, max_region, min_region, list(live.values())
+    )
     return explanation

@@ -4,10 +4,14 @@
 single trajectory both passed the start segment ``r0`` during the
 departure window ``[T, T+min(W, L)]`` (``W`` fixed at the paper's
 canonical 5-minute slot, independent of the index Δt) and passed ``r``
-during the query window ``[T, T+L]``.  The estimator caches the start segment's per-day trajectory
-sets, so each additional segment costs only its own time-list reads plus
-per-day set intersections — the unit of work both ES and TBS pay per
-probability check.
+during the query window ``[T, T+L]``.  The estimator gathers the start
+segment's visits once, as one sorted packed-key array; each additional
+segment then costs only its own time-list reads plus one vectorized
+membership probe — the unit of work both ES and TBS pay per probability
+check.  Waves of candidates (a TBS boundary wave, an ES frontier level)
+batch through :meth:`ProbabilityEstimator.probabilities` into a single
+kernel call; see :mod:`repro.core.prob_kernel` for the columnar layout
+and :mod:`repro.core.legacy_probability` for the preserved scalar path.
 
 Direction handling: a two-way road is stored as a pair of directed twin
 segments, but a *road* is reachable regardless of which carriageway the
@@ -18,7 +22,7 @@ therefore road-level, matching the map renderings of Figs 4.2/4.4/4.6.
 
 from __future__ import annotations
 
-from repro.core.st_index import STIndex
+from repro.core.prob_kernel import ColumnarEq31Estimator
 
 #: Departure-window width ``W`` in seconds.  Eq. 3.1 counts trajectories
 #: that left ``r0`` "during the first time slot"; tying that window to the
@@ -31,8 +35,15 @@ from repro.core.st_index import STIndex
 DEPARTURE_WINDOW_S = 300.0
 
 
-class ProbabilityEstimator:
+class ProbabilityEstimator(ColumnarEq31Estimator):
     """Eq. 3.1 evaluator bound to one query's ``(r0, T, L)``.
+
+    The fixed side is ``Tr(r0, [T, T+min(W, L)], d)``: trajectories
+    departing the start road in the departure window, per day, read once
+    and reused for every candidate.  The window is truncated to the query
+    window — a departure after T+L cannot contribute to reachability
+    within [T, T+L] — and is independent of the index Δt, so results stay
+    insensitive to the index granularity.
 
     Args:
         index: the ST-Index to read time lists from.
@@ -42,90 +53,11 @@ class ProbabilityEstimator:
         num_days: ``m``, the dataset's day span.
     """
 
-    def __init__(
-        self,
-        index: STIndex,
-        start_segment: int,
-        start_time_s: float,
-        duration_s: float,
-        num_days: int,
-    ) -> None:
-        if num_days <= 0:
-            raise ValueError(f"num_days must be positive, got {num_days}")
-        self.index = index
-        self.network = index.network
-        self.start_segment = start_segment
-        self.start_time_s = start_time_s
-        self.duration_s = duration_s
-        self.num_days = num_days
-        self.checks = 0
-        self._cache: dict[int, float] = {}
-        # Tr(r0, [T, T+min(W, L)], d): trajectories departing the start
-        # road in the departure window, per day, read once and reused for
-        # every candidate.  The window is truncated to the query window —
-        # a departure after T+L cannot contribute to reachability within
-        # [T, T+L] — and is independent of the index Δt, so results stay
-        # insensitive to the index granularity.
-        self._start_sets = self._merged_window(
-            start_segment,
-            start_time_s,
-            start_time_s + min(DEPARTURE_WINDOW_S, duration_s),
+    def _fixed_window(self) -> tuple[float, float]:
+        return (
+            self.start_time_s,
+            self.start_time_s + min(DEPARTURE_WINDOW_S, self.duration_s),
         )
 
-    def _twin(self, segment_id: int) -> int | None:
-        twin = self.network.segment(segment_id).twin_id
-        if twin is not None and self.network.has_segment(twin):
-            return twin
-        return None
-
-    def _merged_window(
-        self, segment_id: int, start_s: float, end_s: float
-    ) -> dict[int, set[int]]:
-        """Per-day trajectory ids passing the *road* (either direction)."""
-        merged = self.index.trajectories_in_window(segment_id, start_s, end_s)
-        twin = self._twin(segment_id)
-        if twin is not None:
-            for date, ids in self.index.trajectories_in_window(
-                twin, start_s, end_s
-            ).items():
-                bucket = merged.get(date)
-                if bucket is None:
-                    merged[date] = set(ids)
-                else:
-                    bucket |= ids
-        return merged
-
-    @property
-    def start_days(self) -> int:
-        """Days on which any trajectory left ``r0`` in the first slot."""
-        return sum(1 for ids in self._start_sets.values() if ids)
-
-    def probability(self, segment_id: int) -> float:
-        """``probability(segment_id, r0)`` per Eq. 3.1 (cached, road-level)."""
-        cached = self._cache.get(segment_id)
-        if cached is not None:
-            return cached
-        self.checks += 1
-        if not self._start_sets:
-            value = 0.0
-        else:
-            target_sets = self._merged_window(
-                segment_id,
-                self.start_time_s,
-                self.start_time_s + self.duration_s,
-            )
-            good_days = 0
-            for date, start_ids in self._start_sets.items():
-                target_ids = target_sets.get(date)
-                if target_ids and not start_ids.isdisjoint(target_ids):
-                    good_days += 1
-            value = good_days / self.num_days
-        self._cache[segment_id] = value
-        twin = self._twin(segment_id)
-        if twin is not None:
-            self._cache[twin] = value
-        return value
-
-    def is_reachable(self, segment_id: int, prob: float) -> bool:
-        """Whether ``segment_id`` meets the query's probability threshold."""
-        return self.probability(segment_id) >= prob
+    def _candidate_window(self) -> tuple[float, float]:
+        return (self.start_time_s, self.start_time_s + self.duration_s)

@@ -91,13 +91,31 @@ class BoundingRegion:
 
 @dataclass
 class QueryCost:
-    """Cost metrics for one query execution."""
+    """Cost metrics for one query execution.
+
+    Attributes:
+        probability_checks: Eq. 3.1 evaluations requested across the
+            query's estimators (cache and twin hits excluded).
+        kernel_probability_evals / scalar_probability_evals: how many of
+            those evaluations ran through the vectorized columnar kernel
+            vs the tiny-input scalar fast path (their sum can fall short
+            of ``probability_checks`` when an empty start set
+            short-circuits candidates to probability 0 without reads).
+        probability_waves: batched evaluation waves (TBS boundary waves,
+            ES frontier levels) the search dequeued.
+        max_wave_size: largest single wave, the batching depth the
+            kernel actually exploited.
+    """
 
     wall_time_s: float = 0.0
     io: DiskStats = field(default_factory=DiskStats)
     simulated_io_ms: float = 0.0
     probability_checks: int = 0
     segments_expanded: int = 0
+    kernel_probability_evals: int = 0
+    scalar_probability_evals: int = 0
+    probability_waves: int = 0
+    max_wave_size: int = 0
 
     @property
     def total_cost_ms(self) -> float:

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.baseline import ExhaustiveResult, exhaustive_search
 from repro.core.con_index import ConnectionIndex
+from repro.core.prob_kernel import ColumnarEq31Estimator
 from repro.core.probability import DEPARTURE_WINDOW_S
 from repro.core.query import BoundingRegion
 from repro.core.sqmb import _boundary_id_set, _entry_hops, _slot_expansion_dist
@@ -33,12 +34,16 @@ from repro.network.csr import close_twins_mask
 from repro.network.model import RoadNetwork
 
 
-class ReverseProbabilityEstimator:
+class ReverseProbabilityEstimator(ColumnarEq31Estimator):
     """Eq. 3.1 with the roles of start and target segments swapped.
 
     ``probability(r)`` is the fraction of days on which a single trajectory
     passed ``r`` in ``[T, T+Δt]`` and the fixed target segment within
-    ``[T, T+L]``.
+    ``[T, T+L]``.  The fixed side of the columnar kernel is the *target's*
+    full query window (gathered once); each candidate pays only its own
+    departure-window read plus the membership probe — cheaper per check
+    than the forward estimator, which reads the whole window per
+    candidate.
 
     Args:
         index: the ST-Index to read time lists from.
@@ -56,78 +61,21 @@ class ReverseProbabilityEstimator:
         duration_s: float,
         num_days: int,
     ) -> None:
-        if num_days <= 0:
-            raise ValueError(f"num_days must be positive, got {num_days}")
-        self.index = index
-        self.network = index.network
-        # `start_segment` naming keeps the TBS/ES interfaces uniform.
-        self.start_segment = target_segment
-        self.target_segment = target_segment
-        self.start_time_s = start_time_s
-        self.duration_s = duration_s
-        self.num_days = num_days
-        self.checks = 0
-        self._cache: dict[int, float] = {}
-        self._target_sets = self._merged_window(
-            target_segment, start_time_s, start_time_s + duration_s
+        # `start_segment` naming (in the base) keeps the TBS/ES
+        # interfaces uniform; expose the reverse-specific alias too.
+        super().__init__(
+            index, target_segment, start_time_s, duration_s, num_days
         )
+        self.target_segment = target_segment
 
-    def _twin(self, segment_id: int) -> int | None:
-        twin = self.network.segment(segment_id).twin_id
-        if twin is not None and self.network.has_segment(twin):
-            return twin
-        return None
+    def _fixed_window(self) -> tuple[float, float]:
+        return (self.start_time_s, self.start_time_s + self.duration_s)
 
-    def _merged_window(
-        self, segment_id: int, start_s: float, end_s: float
-    ) -> dict[int, set[int]]:
-        merged = self.index.trajectories_in_window(segment_id, start_s, end_s)
-        twin = self._twin(segment_id)
-        if twin is not None:
-            for date, ids in self.index.trajectories_in_window(
-                twin, start_s, end_s
-            ).items():
-                bucket = merged.get(date)
-                if bucket is None:
-                    merged[date] = set(ids)
-                else:
-                    bucket |= ids
-        return merged
-
-    @property
-    def start_days(self) -> int:
-        """Days on which any trajectory visited the target within the window."""
-        return sum(1 for ids in self._target_sets.values() if ids)
-
-    def probability(self, segment_id: int) -> float:
-        """Reverse reachability probability of ``segment_id`` (cached)."""
-        cached = self._cache.get(segment_id)
-        if cached is not None:
-            return cached
-        self.checks += 1
-        if not self._target_sets:
-            value = 0.0
-        else:
-            origin_sets = self._merged_window(
-                segment_id,
-                self.start_time_s,
-                self.start_time_s
-                + min(DEPARTURE_WINDOW_S, self.duration_s),
-            )
-            good_days = 0
-            for date, target_ids in self._target_sets.items():
-                origin_ids = origin_sets.get(date)
-                if origin_ids and not target_ids.isdisjoint(origin_ids):
-                    good_days += 1
-            value = good_days / self.num_days
-        self._cache[segment_id] = value
-        twin = self._twin(segment_id)
-        if twin is not None:
-            self._cache[twin] = value
-        return value
-
-    def is_reachable(self, segment_id: int, prob: float) -> bool:
-        return self.probability(segment_id) >= prob
+    def _candidate_window(self) -> tuple[float, float]:
+        return (
+            self.start_time_s,
+            self.start_time_s + min(DEPARTURE_WINDOW_S, self.duration_s),
+        )
 
 
 def reverse_bounding_region(

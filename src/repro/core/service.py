@@ -86,6 +86,31 @@ class BatchReport:
         """Wall time plus accounted I/O, the headline 'running time'."""
         return self.wall_time_s * 1e3 + self.simulated_io_ms
 
+    @property
+    def probability_checks(self) -> int:
+        """Eq. 3.1 evaluations across the batch (cache hits excluded)."""
+        return sum(r.cost.probability_checks for r in self.results)
+
+    @property
+    def kernel_probability_evals(self) -> int:
+        """Evaluations served by the vectorized columnar kernel."""
+        return sum(r.cost.kernel_probability_evals for r in self.results)
+
+    @property
+    def scalar_probability_evals(self) -> int:
+        """Evaluations served by the tiny-input scalar fast path."""
+        return sum(r.cost.scalar_probability_evals for r in self.results)
+
+    @property
+    def probability_waves(self) -> int:
+        """Batched evaluation waves dequeued across the batch."""
+        return sum(r.cost.probability_waves for r in self.results)
+
+    @property
+    def max_wave_size(self) -> int:
+        """Largest single evaluation wave any query in the batch saw."""
+        return max((r.cost.max_wave_size for r in self.results), default=0)
+
     def as_rows(self) -> list[tuple[str, str]]:
         """Key/value rows for :func:`repro.eval.tables.format_table`."""
         return [
@@ -103,6 +128,14 @@ class BatchReport:
                 "Bounding regions",
                 f"{self.regions_computed} computed, "
                 f"{self.regions_reused} reused",
+            ),
+            (
+                "Probability checks",
+                f"{self.probability_checks:,} "
+                f"({self.kernel_probability_evals:,} kernel / "
+                f"{self.scalar_probability_evals:,} scalar; "
+                f"{self.probability_waves:,} waves, "
+                f"max {self.max_wave_size})",
             ),
             ("Plans reused", f"{self.plans_reused}"),
         ]

@@ -25,7 +25,7 @@ from __future__ import annotations
 import struct
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -93,6 +93,85 @@ def decode_time_list(payload: bytes) -> dict[int, list[tuple[int, int]]]:
     return per_date
 
 
+#: Bit position of the date in a packed visit key: ``(date << 32) | id``.
+#: Trajectory ids are stored as uint32 so they fit the low half exactly;
+#: dates are day indices (a dataset spans tens to hundreds of days), far
+#: below the 2**31 bound that keeps packed keys inside int64.
+KEY_DATE_SHIFT = 32
+KEY_ID_MASK = (1 << KEY_DATE_SHIFT) - 1
+
+_EMPTY_KEYS = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ColumnarTimeList:
+    """One decoded time-list record as flat visit columns.
+
+    The columnar twin of :func:`decode_time_list`: instead of a
+    ``date -> [(id, second)]`` dict of tuple lists, the record's visits
+    become two slice-aligned arrays — the layout the Eq. 3.1 probability
+    kernel consumes without any per-tuple Python work.
+
+    Attributes:
+        keys: ``int64`` packed ``(date << 32) | trajectory_id`` per visit,
+            in stored (date-major, then id/second) order.
+        seconds: ``int32`` visit seconds, aligned with ``keys``.
+
+    Both arrays are read-only cached views shared between queries — never
+    mutate them.
+    """
+
+    keys: np.ndarray = field(default_factory=lambda: _EMPTY_KEYS)
+    seconds: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int32)
+    )
+
+    @property
+    def num_visits(self) -> int:
+        return int(self.keys.size)
+
+
+def decode_time_list_columns(payload: bytes) -> ColumnarTimeList:
+    """Decode a time-list payload straight into visit columns.
+
+    Shares the wire format (and the error conditions) of
+    :func:`decode_time_list` but never materializes per-date tuple lists:
+    each date's ``(id, second)`` block is strided out of one
+    ``frombuffer`` view and packed into int64 keys in a handful of numpy
+    ops, independent of the visit count.
+    """
+    if len(payload) % 4 != 0:
+        raise SerializationError("time list payload not uint32-aligned")
+    values = np.frombuffer(payload, dtype="<u4")
+    total = int(values.size)
+    if total == 0:
+        raise SerializationError("truncated time list header")
+    num_dates = int(values[0])
+    key_parts: list[np.ndarray] = []
+    second_parts: list[np.ndarray] = []
+    offset = 1
+    for _ in range(num_dates):
+        if offset + 2 > total:
+            raise SerializationError("truncated time list header")
+        date, count = int(values[offset]), int(values[offset + 1])
+        offset += 2
+        end = offset + 2 * count
+        if end > total:
+            raise SerializationError("truncated time list ids")
+        ids = values[offset:end:2].astype(np.int64)
+        key_parts.append(ids + (date << KEY_DATE_SHIFT))
+        second_parts.append(values[offset + 1:end:2].astype(np.int32))
+        offset = end
+    if offset != total:
+        raise SerializationError("trailing values in time list payload")
+    if not key_parts:
+        return ColumnarTimeList()
+    return ColumnarTimeList(
+        keys=np.concatenate(key_parts),
+        seconds=np.concatenate(second_parts),
+    )
+
+
 @dataclass
 class STIndexStats:
     """Construction statistics, for documentation and sanity tests."""
@@ -152,6 +231,12 @@ class STIndex:
         self.record_cache_size = record_cache_size
         self._decoded_records: OrderedDict[
             RecordPointer, dict[int, list[tuple[int, int]]]
+        ] = OrderedDict()
+        self._columnar_records: OrderedDict[
+            RecordPointer, ColumnarTimeList
+        ] = OrderedDict()
+        self._window_plans: OrderedDict[
+            tuple[float, float], tuple[tuple[int, bool, float, float], ...]
         ] = OrderedDict()
         self._record_lock = threading.Lock()
         self.stats = STIndexStats(num_slots=self.num_slots)
@@ -334,26 +419,32 @@ class STIndex:
     # -- time-list reads ----------------------------------------------------------------
 
     def time_entries(
-        self, segment_id: int, slot: int
+        self, segment_id: int, slot: int, copy: bool = True
     ) -> dict[int, list[tuple[int, int]]]:
         """Read a (segment, slot) time list: ``date -> (id, second) visits``.
 
         Charged through the buffer pool; an absent entry (no trajectory ever
         hit the segment in the slot) is free, as the in-memory directory
         already proves absence.
+
+        Mutability contract: with ``copy=True`` (the default) the caller
+        owns the returned dict and its lists.  With ``copy=False`` a
+        single-record entry is served as the memoized decoded record
+        itself — a shared read-only view that internal read paths (the
+        probability estimators, window filters) use to skip a fresh
+        dict+list copy per access; callers taking a view must never
+        mutate it.  Multi-record chains are merged fresh either way.
         """
         chain = self._directory.get((segment_id, slot))
         if chain is None:
             return {}
         if len(chain) == 1:
             # Bulk-built and per-append records are internally duplicate
-            # free; only cross-record merges need the dedup below.  Fresh
-            # list copies keep the return value caller-mutable without
-            # exposing the memoized record.
-            return {
-                date: list(visits)
-                for date, visits in self._read_record(chain[0]).items()
-            }
+            # free; only cross-record merges need the dedup below.
+            decoded = self._read_record(chain[0])
+            if not copy:
+                return decoded
+            return {date: list(visits) for date, visits in decoded.items()}
         merged: dict[int, set[tuple[int, int]]] = {}
         for pointer in chain:
             for date, visits in self._read_record(pointer).items():
@@ -390,6 +481,113 @@ class STIndex:
                 self._decoded_records.popitem(last=False)
         return decoded
 
+    def _read_record_columns(self, pointer: RecordPointer) -> ColumnarTimeList:
+        """One charged record read decoded into visit columns (memoized).
+
+        The charging is byte-for-byte identical to :meth:`_read_record`
+        (the same ``PageStore.read`` through the same pool); only the
+        decoded representation differs — flat packed-key/second arrays
+        instead of a per-date dict — and gets its own pointer-keyed LRU.
+        Served read-only: callers never mutate the cached arrays.
+        """
+        payload = self._store.read(pointer, pool=self.pool)
+        if self.record_cache_size <= 0:
+            return decode_time_list_columns(payload)
+        with self._record_lock:
+            decoded = self._columnar_records.get(pointer)
+            if decoded is not None:
+                self._columnar_records.move_to_end(pointer)
+                return decoded
+        decoded = decode_time_list_columns(payload)
+        with self._record_lock:
+            self._columnar_records[pointer] = decoded
+            while len(self._columnar_records) > self.record_cache_size:
+                self._columnar_records.popitem(last=False)
+        return decoded
+
+    def window_plan(
+        self, start_s: float, end_s: float
+    ) -> tuple[tuple[int, bool, float, float], ...]:
+        """A window resolved to ``(slot, whole_slot, lo, hi)`` steps.
+
+        Resolving ``[start_s, end_s)`` against the temporal B+-tree (the
+        midnight split, the per-part slot range scans, the whole-vs-
+        boundary classification) depends only on the window and Δt — not
+        on any segment — so one query's estimator resolves it once and
+        every candidate gather replays the memoized plan.  A small LRU
+        keeps repeated query shapes free across estimators too.
+        """
+        key = (start_s, end_s)
+        with self._record_lock:
+            plan = self._window_plans.get(key)
+            if plan is not None:
+                self._window_plans.move_to_end(key)
+                return plan
+        steps: list[tuple[int, bool, float, float]] = []
+        for lo, hi in self._window_parts(start_s, end_s):
+            for slot in self._slots_in_part(lo, hi):
+                slot_start = slot * self.delta_t_s
+                whole_slot = (
+                    lo <= slot_start and slot_start + self.delta_t_s <= hi
+                )
+                steps.append((slot, whole_slot, lo, hi))
+        plan = tuple(steps)
+        with self._record_lock:
+            self._window_plans[key] = plan
+            while len(self._window_plans) > 128:
+                self._window_plans.popitem(last=False)
+        return plan
+
+    def window_keys_planned(
+        self,
+        segment_id: int,
+        plan: tuple[tuple[int, bool, float, float], ...],
+    ) -> np.ndarray:
+        """Packed visit keys of a segment for a resolved window plan.
+
+        Charges exactly the record reads of the dict-based
+        :meth:`trajectories_in_window` path, in the same order (plan
+        steps in window order, chain records in append order).  Visits
+        may repeat across steps and chained records; membership callers
+        are unaffected.
+        """
+        parts: list[np.ndarray] = []
+        directory = self._directory
+        for slot, whole_slot, lo, hi in plan:
+            chain = directory.get((segment_id, slot))
+            if chain is None:
+                continue
+            for pointer in chain:
+                record = self._read_record_columns(pointer)
+                if record.keys.size == 0:
+                    continue
+                if whole_slot:
+                    parts.append(record.keys)
+                    continue
+                mask = (record.seconds >= lo) & (record.seconds < hi)
+                if mask.any():
+                    parts.append(record.keys[mask])
+        if not parts:
+            return _EMPTY_KEYS
+        if len(parts) == 1:
+            # Single whole-slot records dominate; avoid copying them.
+            return parts[0]
+        return np.concatenate(parts)
+
+    def window_keys(
+        self, segment_id: int, start_s: float, end_s: float
+    ) -> np.ndarray:
+        """Packed ``(date << 32) | id`` visit keys within ``[start_s, end_s)``.
+
+        The columnar twin of :meth:`trajectories_in_window`: slots fully
+        inside the window contribute every stored visit, boundary slots
+        are filtered by the per-visit seconds, and midnight-crossing
+        windows are split at the day boundary.
+        """
+        return self.window_keys_planned(
+            segment_id, self.window_plan(start_s, end_s)
+        )
+
     def time_list(self, segment_id: int, slot: int) -> dict[int, set[int]]:
         """A (segment, slot) time list as ``date -> trajectory ids``."""
         return {
@@ -415,7 +613,8 @@ class STIndex:
                 whole_slot = (
                     lo <= slot_start and slot_start + self.delta_t_s <= hi
                 )
-                for date, visits in self.time_entries(segment_id, slot).items():
+                entries = self.time_entries(segment_id, slot, copy=False)
+                for date, visits in entries.items():
                     ids = {
                         trajectory_id
                         for trajectory_id, second in visits

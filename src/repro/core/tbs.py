@@ -9,6 +9,18 @@ inward neighbours — minus the minimum bounding region — onto the queue.
 Visited marking guarantees each segment is examined once (the ``r*``
 example of Fig. 3.5).
 
+The queue is drained in *waves*: each iteration snapshots the whole
+pending frontier and evaluates every member's probability in one batch
+call to the columnar kernel
+(:meth:`~repro.core.probability.ProbabilityEstimator.probabilities`)
+before any accept/fail processing.  Because a segment's probability is a
+pure function of the trajectory data — independent of discovery order —
+and the wave preserves the classic FIFO evaluation order, the examined
+set, the per-segment probabilities and the charged time-list reads are
+*identical* to the one-segment-at-a-time loop (preserved in
+:mod:`repro.core.legacy_probability` as the equivalence baseline); only
+the per-check Python overhead disappears.
+
 The returned region is the minimum bounding cover (guaranteed reachable by
 construction of the Near lists), plus every accepted segment, plus the
 unexamined interior: segments of the maximum cover that a flood fill from
@@ -36,12 +48,15 @@ class TraceBackResult:
         passed: segments that explicitly met the probability threshold.
         failed: segments that were examined and fell short.
         probabilities: every probability actually computed.
+        wave_sizes: members per evaluation wave, in dequeue order (the
+            scalar reference records waves of one).
     """
 
     region: set[int] = field(default_factory=set)
     passed: set[int] = field(default_factory=set)
     failed: set[int] = field(default_factory=set)
     probabilities: dict[int, float] = field(default_factory=dict)
+    wave_sizes: list[int] = field(default_factory=list)
 
     @property
     def examined(self) -> int:
@@ -62,7 +77,9 @@ def trace_back_search(
         estimators: per-seed probability estimators; for an s-query this is
             ``{r0: estimator}``, for an m-query one per start segment (each
             examined segment is tested against the seed that claimed it in
-            the bounding region's ``seed_of`` attribution).
+            the bounding region's ``seed_of`` attribution).  An empty dict
+            yields an empty result: with nothing to vouch for any segment,
+            nothing is Prob-reachable.
         prob: the query's probability threshold.
         max_region: output of SQMB/MQMB with kind="far".
         min_region: output of SQMB/MQMB with kind="near".
@@ -71,9 +88,14 @@ def trace_back_search(
         The Prob-reachable region and bookkeeping sets.
     """
     result = TraceBackResult()
+    if not estimators:
+        return result
     max_cover = max_region.cover
     min_cover = min_region.cover
-    default_seed = next(iter(estimators)) if estimators else None
+    default_seed = next(iter(estimators))
+    single = (
+        next(iter(estimators.values())) if len(estimators) == 1 else None
+    )
 
     def estimators_for(segment_id: int) -> list[ProbabilityEstimator]:
         """Candidate estimators: the claiming seed first, then the rest.
@@ -88,38 +110,55 @@ def trace_back_search(
         ordered.extend(e for s, e in estimators.items() if e is not first)
         return ordered
 
+    def wave_probabilities(wave: list[int]) -> list[float]:
+        if single is not None:
+            # One seed, no fallback ordering: the whole wave is one
+            # batched kernel call.
+            return single.probabilities(wave)
+        # Multi-seed: evaluate per segment in wave order so the fallback
+        # consultations interleave exactly as the scalar loop's reads do
+        # (each per-segment call still runs through the columnar kernel).
+        values: list[float] = []
+        for segment_id in wave:
+            candidates = estimators_for(segment_id)
+            probability = candidates[0].probability(segment_id)
+            if probability < prob:
+                # The claiming seed cannot vouch for the segment, but the
+                # m-query result is a *union* of per-seed regions, so
+                # consult the remaining seeds.  Their time-list reads hit
+                # pages the first estimator already pulled into the
+                # buffer pool, so the extra verifications cost membership
+                # probes, not disk I/O.
+                for estimator in candidates[1:]:
+                    probability = max(
+                        probability, estimator.probability(segment_id)
+                    )
+                    if probability >= prob:
+                        break
+            values.append(probability)
+        return values
+
     queue: deque[int] = deque(sorted(max_region.boundary))
     visited: set[int] = set(max_region.boundary)
     while queue:
-        segment_id = queue.popleft()
-        candidates = estimators_for(segment_id)
-        probability = candidates[0].probability(segment_id)
-        if probability < prob:
-            # The claiming seed cannot vouch for the segment, but the
-            # m-query result is a *union* of per-seed regions, so consult
-            # the remaining seeds.  Their time-list reads hit pages the
-            # first estimator already pulled into the buffer pool, so the
-            # extra verifications cost set intersections, not disk I/O.
-            for estimator in candidates[1:]:
-                probability = max(
-                    probability, estimator.probability(segment_id)
-                )
-                if probability >= prob:
-                    break
-        result.probabilities[segment_id] = probability
-        if probability >= prob:
-            result.passed.add(segment_id)
-            continue
-        result.failed.add(segment_id)
-        for neighbor in network.neighbors(segment_id):
-            if neighbor in visited:
+        wave = list(queue)
+        queue.clear()
+        result.wave_sizes.append(len(wave))
+        for segment_id, probability in zip(wave, wave_probabilities(wave)):
+            result.probabilities[segment_id] = probability
+            if probability >= prob:
+                result.passed.add(segment_id)
                 continue
-            if neighbor not in max_cover:
-                continue  # never step outside the maximum bound
-            if neighbor in min_cover:
-                continue  # Algorithm 2 line 9: neighbor(r) - Bmin
-            visited.add(neighbor)
-            queue.append(neighbor)
+            result.failed.add(segment_id)
+            for neighbor in network.neighbors(segment_id):
+                if neighbor in visited:
+                    continue
+                if neighbor not in max_cover:
+                    continue  # never step outside the maximum bound
+                if neighbor in min_cover:
+                    continue  # Algorithm 2 line 9: neighbor(r) - Bmin
+                visited.add(neighbor)
+                queue.append(neighbor)
 
     # Assemble the final region: minimum cover + accepted segments + the
     # unexamined interior reachable from the seeds without crossing a
