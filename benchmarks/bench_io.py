@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Batched I/O layer benchmark harness: extent reads, wave gathers, pools.
+
+Writes ``BENCH_io.json`` with four sections:
+
+* ``microbench`` — the storage primitives head to head: sequential
+  ``PageStore.read`` loops vs ``read_many`` batch gathers (cold and
+  warm pools), plus the striped pool's batched charging
+  (``get_pages``) vs the per-page loop;
+* ``build`` — ST-Index construction write amplification: page writes
+  charged by the group-committed build against the packed-page floor
+  ``ceil(bytes / page_size)`` (the pre-fix behavior charged ~one write
+  per *record*);
+* ``fig41_sweep`` — a Fig 4.1(a)-style duration sweep of end-to-end
+  ``sqmb_tbs`` queries, batched I/O + columnar kernel vs the preserved
+  scalar probability/read path;
+* ``batch_throughput`` — ``QueryService.run_batch`` over the mixed
+  workload of ``bench_probability.py`` (same protocol as the PR 4
+  baseline, whose committed full-mode figure was 248.1 q/s), with
+  queries/s and the speedup over that baseline.
+
+Every end-to-end comparison asserts result sets and page-read
+accounting are identical between the batched and scalar paths — the
+randomized equivalence proof lives in ``tests/test_batched_io.py`` and
+``tests/test_prob_kernel.py``; the benchmark only measures.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_io.py [--quick] [--out PATH]
+
+``--quick`` uses the reduced dataset and fewer repetitions — the CI smoke
+configuration.  Every section reports the median of ``repeat`` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.core.engine import ReachabilityEngine
+from repro.datasets.shenzhen_like import default_dataset
+from repro.eval import config
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pagestore import BufferPool, PageStore
+
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_probability import (  # noqa: E402
+    bench_batch_throughput,
+    bench_fig41_sweep,
+    median_ms,
+    paired_median_ms,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The PR 4 full-mode ``queries_per_s_kernel`` committed in
+#: ``BENCH_probability.json`` — the baseline the ISSUE 5 acceptance
+#: criterion (>= 1.5x ``run_batch`` throughput) is measured against.
+PR4_BASELINE_QPS = 248.1
+
+
+def bench_micro(repeat: int) -> list[dict]:
+    """Storage primitives: scalar read loops vs batched gathers."""
+    rng = random.Random(42)
+    page_size = 1024
+    payloads = [
+        bytes(rng.randrange(256) for _ in range(rng.randrange(100, 1200)))
+        for _ in range(400)
+    ]
+
+    def fresh(capacity: int):
+        disk = SimulatedDisk(page_size=page_size)
+        store = PageStore(disk)
+        pointers = [store.append(p) for p in payloads]
+        store.flush()
+        pool = BufferPool(disk, capacity=capacity) if capacity else None
+        return store, pool, pointers
+
+    accesses = [rng.randrange(len(payloads)) for _ in range(2000)]
+    rows: list[dict] = []
+
+    def row(name, batched_fn, scalar_fn, extra=None):
+        batched_ms, scalar_ms = paired_median_ms(batched_fn, scalar_fn, repeat)
+        entry = {
+            "name": name,
+            "batched_ms": round(batched_ms, 3),
+            "scalar_ms": round(scalar_ms, 3),
+            "speedup": round(scalar_ms / batched_ms, 2) if batched_ms > 0 else None,
+        }
+        if extra:
+            entry.update(extra)
+        rows.append(entry)
+
+    store, pool, pointers = fresh(capacity=512)
+    wave = [pointers[i] for i in accesses]
+    row(
+        f"record gather x{len(accesses)} (warm pool)",
+        lambda: store.read_many(wave, pool=pool),
+        lambda: [store.read(ptr, pool=pool) for ptr in wave],
+        extra={"records": len(accesses)},
+    )
+    store2, _, pointers2 = fresh(capacity=0)
+    wave2 = [pointers2[i] for i in accesses]
+    row(
+        f"record gather x{len(accesses)} (no pool, direct disk)",
+        lambda: store2.read_many(wave2),
+        lambda: [store2.read(ptr) for ptr in wave2],
+    )
+    page_ids = [ptr.first_page for ptr in wave]
+    row(
+        f"pool charge x{len(page_ids)} (get_pages vs get_page loop)",
+        lambda: pool.get_pages(page_ids),
+        lambda: [pool.get_page(page) for page in page_ids],
+    )
+    return rows
+
+
+def bench_build(engine, settings, repeat: int) -> dict:
+    """ST-Index build write amplification under the group commit."""
+    from repro.core.st_index import STIndex
+
+    def build():
+        index = STIndex(engine.network, settings.delta_t_s)
+        index.build(engine.database)
+        return index
+
+    build_ms = median_ms(build, repeat)
+    index = build()
+    stats = index.disk.stats
+    floor = -(-stats.bytes_written // index.disk.page_size)
+    return {
+        "build_ms": round(build_ms, 1),
+        "entries": index.stats.num_entries,
+        "bytes_written": stats.bytes_written,
+        "page_writes": stats.page_writes,
+        "packed_page_floor": floor,
+        "write_amplification": round(stats.page_writes / floor, 3),
+        "legacy_write_amplification_approx": round(
+            index.stats.num_entries / floor, 2
+        ),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced dataset and repetitions (CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_io.json",
+        help="output JSON path (default: repo-root BENCH_io.json)",
+    )
+    args = parser.parse_args()
+    settings = config.SMALL_SETTINGS if args.quick else config.DEFAULT_SETTINGS
+    repeat = 3 if args.quick else 9
+    durations = (300, 600, 900) if args.quick else (300, 600, 900, 1200, 1500)
+    batch_size = 8 if args.quick else 16
+
+    started = time.perf_counter()
+    print(f"building dataset ({'quick' if args.quick else 'full'}) ...")
+    dataset = default_dataset(settings.dataset)
+    engine = ReachabilityEngine(dataset.network, dataset.database)
+    engine.st_index(settings.delta_t_s)
+    print(f"dataset ready in {time.perf_counter() - started:.1f}s; benchmarking ...")
+
+    micro = bench_micro(repeat)
+    build = bench_build(engine, settings, max(1, repeat // 3))
+    sweep = bench_fig41_sweep(engine, settings, durations, repeat)
+    throughput = bench_batch_throughput(engine, settings, batch_size, repeat)
+    if not args.quick:
+        # The PR 4 baseline was measured in the full configuration (large
+        # dataset, batch of 20); comparing quick-mode numbers against it
+        # would be meaningless, so the ratio is only emitted in full mode.
+        throughput["pr4_baseline_queries_per_s"] = PR4_BASELINE_QPS
+        throughput["speedup_vs_pr4_baseline"] = round(
+            throughput["queries_per_s_kernel"] / PR4_BASELINE_QPS, 2
+        )
+
+    report = {
+        "benchmark": (
+            "batched zero-copy I/O layer: extent page store, wave gathers, "
+            "striped single-flight buffer pool"
+        ),
+        "mode": "quick" if args.quick else "full",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "dataset": {
+            "segments": engine.network.num_segments,
+            "trajectories": len(engine.database),
+            "delta_t_s": settings.delta_t_s,
+        },
+        "microbench": micro,
+        "build": build,
+        "fig41_sweep": sweep,
+        "batch_throughput": throughput,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

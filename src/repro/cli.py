@@ -121,6 +121,12 @@ def _print_response(args, dataset, response) -> int:
             f"{cost.scalar_probability_evals} scalar evals over "
             f"{cost.probability_waves} waves (max {cost.max_wave_size})"
         )
+    if cost.batched_record_reads:
+        print(
+            f"batched I/O: {cost.batched_record_reads} record gathers / "
+            f"{cost.prefetched_pages} pages prefetched "
+            f"({cost.pool_lock_shards} pool lock shards)"
+        )
     if response.within_budget is not None:
         verdict = "met" if response.within_budget else "EXCEEDED"
         print(

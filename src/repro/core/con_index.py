@@ -17,6 +17,7 @@ some network expansion steps" cheaply.
 from __future__ import annotations
 
 import struct
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Literal
@@ -162,6 +163,9 @@ class ConnectionIndex:
             OrderedDict()
         )
         self._entry_cache_size = entry_cache_size
+        # Guards the lazy lookup/compute/append/evict sequence: batch
+        # worker threads share one Con-Index per Δt.
+        self._entry_lock = threading.RLock()
         self.compressed = compressed
         self._encode = encode_entry_compressed if compressed else encode_entry
         self._decode = decode_entry_compressed if compressed else decode_entry
@@ -273,25 +277,39 @@ class ConnectionIndex:
     # -- entry access -------------------------------------------------------------
 
     def entry(self, segment_id: int, slot: int, kind: Kind) -> FrontierEntry:
-        """F(segment, slot) for kind='far', N(segment, slot) for kind='near'."""
+        """F(segment, slot) for kind='far', N(segment, slot) for kind='near'.
+
+        Thread-safe: batch worker threads materialise entries lazily, so
+        the lookup / compute / append / LRU-evict sequence runs under one
+        per-index lock — single-flight, like the buffer pool's miss
+        handling, which keeps threaded `DiskStats` deterministic (an
+        entry is computed, stored and charged exactly once).
+        """
         slot %= self.num_slots
         key = (kind, segment_id, slot)
-        cached = self._decoded.get(key)
-        if cached is not None:
-            self._decoded.move_to_end(key)
-            return cached
-        pointer = self._directory.get(key)
-        if pointer is None:
-            entry = self._compute(segment_id, slot, kind)
-            payload = self._encode(entry)
-            self.bytes_stored += len(payload)
-            self._directory[key] = self._store.append(payload)
-        else:
-            entry = self._decode(self._store.read(pointer, pool=self.pool))
-        self._decoded[key] = entry
-        if len(self._decoded) > self._entry_cache_size:
-            self._decoded.popitem(last=False)
-        return entry
+        with self._entry_lock:
+            cached = self._decoded.get(key)
+            if cached is not None:
+                self._decoded.move_to_end(key)
+                return cached
+            pointer = self._directory.get(key)
+            if pointer is None:
+                entry = self._compute(segment_id, slot, kind)
+                payload = self._encode(entry)
+                self.bytes_stored += len(payload)
+                self._directory[key] = self._store.append(payload)
+                # Write through: a lazily materialised entry is durable
+                # (and its page write charged) as soon as it exists,
+                # keeping the query-time write accounting identical to
+                # the pre-extent store.  Only the ST-Index *bulk build*
+                # group-commits.
+                self._store.flush()
+            else:
+                entry = self._decode(self._store.read(pointer, pool=self.pool))
+            self._decoded[key] = entry
+            if len(self._decoded) > self._entry_cache_size:
+                self._decoded.popitem(last=False)
+            return entry
 
     def far(self, segment_id: int, slot: int) -> FrontierEntry:
         return self.entry(segment_id, slot, "far")
@@ -331,10 +349,11 @@ class ConnectionIndex:
         lazily on next access; the old on-disk records are simply
         abandoned (the simulated page store is append-only).
         """
-        self._directory.clear()
-        self._decoded.clear()
-        self._tt_vectors.clear()
-        self._tt_lists.clear()
+        with self._entry_lock:
+            self._directory.clear()
+            self._decoded.clear()
+            self._tt_vectors.clear()
+            self._tt_lists.clear()
 
     # -- bulk construction ---------------------------------------------------------
 

@@ -266,7 +266,7 @@ def execute_plan(
     # Resolve indexes before the accounting window opens: index
     # construction is offline work in the paper's model and must not be
     # charged to the first query at a new Δt.
-    engine.st_index(plan.delta_t_s)
+    st_index = engine.st_index(plan.delta_t_s)
     if plan.uses_con_index:
         engine.con_index(plan.delta_t_s)
     if not plan.warm:
@@ -292,6 +292,13 @@ def execute_plan(
         ),
         probability_waves=len(outcome.wave_sizes),
         max_wave_size=max(outcome.wave_sizes, default=0),
+        batched_record_reads=sum(
+            getattr(e, "batched_record_reads", 0) for e in outcome.estimators
+        ),
+        prefetched_pages=sum(
+            getattr(e, "prefetched_pages", 0) for e in outcome.estimators
+        ),
+        pool_lock_shards=st_index.pool.num_shards,
     )
     return result
 

@@ -57,6 +57,12 @@ class QueryExplanation:
             dequeued.
         kernel_evals / scalar_evals: Eq. 3.1 evaluations served by the
             columnar kernel vs the tiny-input scalar fast path.
+        batched_record_reads / prefetched_pages: records and page
+            accesses charged through the wave-granular batch gather path
+            (:meth:`~repro.core.st_index.STIndex.gather_window_columns`
+            charging via
+            :meth:`~repro.storage.pagestore.BufferPool.get_pages`).
+        pool_lock_shards: lock stripes backing the ST-Index buffer pool.
     """
 
     plan: QueryPlan | None = None
@@ -70,6 +76,9 @@ class QueryExplanation:
     prob_waves: list[int] = field(default_factory=list)
     kernel_evals: int = 0
     scalar_evals: int = 0
+    batched_record_reads: int = 0
+    prefetched_pages: int = 0
+    pool_lock_shards: int = 0
 
     def to_text(self) -> str:
         lines = ["QUERY PLAN (SQMB + TBS)"]
@@ -94,6 +103,12 @@ class QueryExplanation:
                 f"{self.scalar_evals} scalar evals over "
                 f"{len(self.prob_waves)} waves "
                 f"(max {max(self.prob_waves)})"
+            )
+        if self.batched_record_reads:
+            lines.append(
+                f"  batched I/O: {self.batched_record_reads} record "
+                f"gathers / {self.prefetched_pages} pages prefetched "
+                f"({self.pool_lock_shards} pool lock shards)"
             )
         return "\n".join(lines)
 
@@ -136,6 +151,17 @@ def _finish_from_tbs(
     )
     explanation.scalar_evals = sum(
         getattr(e, "scalar_evals", 0) for e in estimators
+    )
+    explanation.batched_record_reads = sum(
+        getattr(e, "batched_record_reads", 0) for e in estimators
+    )
+    explanation.prefetched_pages = sum(
+        getattr(e, "prefetched_pages", 0) for e in estimators
+    )
+    indexes = {getattr(e, "index", None) for e in estimators}
+    explanation.pool_lock_shards = max(
+        (index.pool.num_shards for index in indexes if index is not None),
+        default=0,
     )
 
 

@@ -103,7 +103,15 @@ class ColumnarEq31Estimator:
         self.checks = 0
         self.kernel_evals = 0
         self.scalar_evals = 0
+        # Batched-I/O counters: records and pages fetched through the
+        # wave-granular gather path (every charged read this estimator
+        # performs goes through it, fixed side included).
+        self.batched_record_reads = 0
+        self.prefetched_pages = 0
         self._cache: dict[int, float] = {}
+        # Twin lookups repeat for every wave membership check; the
+        # network is static for the estimator's lifetime, so memoize.
+        self._twins: dict[int, int | None] = {}
         # Window -> slot plans resolve once per estimator; every gather
         # replays them without touching the temporal B+-tree again.
         self._candidate_plan = index.window_plan(*self._candidate_window())
@@ -127,10 +135,14 @@ class ColumnarEq31Estimator:
     # -- shared machinery --------------------------------------------------
 
     def _twin(self, segment_id: int) -> int | None:
-        twin = self.network.segment(segment_id).twin_id
-        if twin is not None and self.network.has_segment(twin):
+        try:
+            return self._twins[segment_id]
+        except KeyError:
+            twin = self.network.segment(segment_id).twin_id
+            if twin is None or not self.network.has_segment(twin):
+                twin = None
+            self._twins[segment_id] = twin
             return twin
-        return None
 
     def _gather(self, segment_id: int, plan) -> np.ndarray:
         """Packed visit keys of the *road* (segment + twin) for a plan.
@@ -138,16 +150,46 @@ class ColumnarEq31Estimator:
         Read order matches the scalar ``_merged_window`` exactly: the
         segment's window first, then the twin's.
         """
-        keys = self.index.window_keys_planned(segment_id, plan)
-        twin = self._twin(segment_id)
-        if twin is None:
-            return keys
-        twin_keys = self.index.window_keys_planned(twin, plan)
-        if keys.size == 0:
-            return twin_keys
-        if twin_keys.size == 0:
-            return keys
-        return np.concatenate((keys, twin_keys))
+        return self._gather_many([segment_id], plan)[0]
+
+    def _gather_many(self, segment_ids, plan) -> list[np.ndarray]:
+        """Road-level window gathers for a whole wave, in one batch.
+
+        Every candidate's segment (and its twin, right after it — the
+        scalar ``_merged_window`` order) goes into a single
+        :meth:`~repro.core.st_index.STIndex.gather_window_columns` call,
+        so the wave's record pages are charged in one buffer-pool pass
+        before the membership kernel runs — the wave-granular prefetch.
+        Accounting is identical to per-candidate scalar reads; only the
+        lock traffic and decode work shrink.
+        """
+        roads: list[tuple[int, int | None]] = []
+        flat: list[int] = []
+        for segment_id in segment_ids:
+            twin = self._twin(segment_id)
+            roads.append((segment_id, twin))
+            flat.append(segment_id)
+            if twin is not None:
+                flat.append(twin)
+        keys_list, records, pages = self.index.gather_window_columns(
+            flat, plan
+        )
+        self.batched_record_reads += records
+        self.prefetched_pages += pages
+        out: list[np.ndarray] = []
+        position = 0
+        for _, twin in roads:
+            keys = keys_list[position]
+            position += 1
+            if twin is not None:
+                twin_keys = keys_list[position]
+                position += 1
+                if keys.size == 0:
+                    keys = twin_keys
+                elif twin_keys.size:
+                    keys = np.concatenate((keys, twin_keys))
+            out.append(keys)
+        return out
 
     @property
     def start_days(self) -> int:
@@ -179,14 +221,16 @@ class ColumnarEq31Estimator:
         return len(good)
 
     def _membership(self, keys: np.ndarray) -> np.ndarray:
-        """Boolean mask: which candidate visit keys exist on the fixed side."""
-        positions = np.searchsorted(self._fixed_keys, keys)
-        inside = positions < self._fixed_keys.size
-        hit = np.zeros(keys.size, dtype=bool)
-        if inside.any():
-            clipped = positions[inside]
-            hit[inside] = self._fixed_keys[clipped] == keys[inside]
-        return hit
+        """Boolean mask: which candidate visit keys exist on the fixed side.
+
+        ``searchsorted`` + clipped ``take``: a key beyond the last fixed
+        element clips onto the last element, which then compares unequal
+        (if it were equal the insertion point would have been inside), so
+        no separate bounds mask is needed — three vector ops total.
+        """
+        fixed = self._fixed_keys
+        positions = fixed.searchsorted(keys)
+        return np.take(fixed, positions, mode="clip") == keys
 
     # -- evaluation --------------------------------------------------------
 
@@ -242,7 +286,7 @@ class ColumnarEq31Estimator:
 
     def _evaluate(self, pending: list[int]) -> None:
         plan = self._candidate_plan
-        gathered = [self._gather(segment_id, plan) for segment_id in pending]
+        gathered = self._gather_many(pending, plan)
         counts = [keys.size for keys in gathered]
         total = sum(counts)
         if total <= SCALAR_EVAL_MAX_VISITS:
@@ -253,6 +297,14 @@ class ColumnarEq31Estimator:
                 )
             return
         self.kernel_evals += len(pending)
+        if len(pending) == 1:
+            # Single candidate (multi-seed fallback consultations, lone
+            # boundary segments): skip the owner bookkeeping — one
+            # membership probe, one day count.
+            keys = gathered[0]
+            hit = self._membership(keys)
+            self._store(pending[0], _unique_days(keys[hit]) / self.num_days)
+            return
         flat = np.concatenate([keys for keys in gathered if keys.size])
         owner = np.repeat(
             np.arange(len(pending), dtype=np.int64),

@@ -105,6 +105,16 @@ class QueryCost:
             ES frontier levels) the search dequeued.
         max_wave_size: largest single wave, the batching depth the
             kernel actually exploited.
+        batched_record_reads: time-list records fetched through the
+            wave-granular batch gather path
+            (``STIndex.gather_window_columns`` charging via
+            ``BufferPool.get_pages``), read-for-read like the sequential
+            scalar loop.
+        prefetched_pages: pages those batched gathers charged before the
+            membership kernel ran (pool hits included — the gather
+            *accesses*, of which ``io.page_reads`` were actual misses).
+        pool_lock_shards: lock stripes backing the ST-Index buffer pool
+            the query read through.
     """
 
     wall_time_s: float = 0.0
@@ -116,6 +126,9 @@ class QueryCost:
     scalar_probability_evals: int = 0
     probability_waves: int = 0
     max_wave_size: int = 0
+    batched_record_reads: int = 0
+    prefetched_pages: int = 0
+    pool_lock_shards: int = 0
 
     @property
     def total_cost_ms(self) -> float:

@@ -111,6 +111,21 @@ class BatchReport:
         """Largest single evaluation wave any query in the batch saw."""
         return max((r.cost.max_wave_size for r in self.results), default=0)
 
+    @property
+    def batched_record_reads(self) -> int:
+        """Records fetched through the wave-granular batch gather path."""
+        return sum(r.cost.batched_record_reads for r in self.results)
+
+    @property
+    def prefetched_pages(self) -> int:
+        """Page accesses charged by batched gathers before kernel runs."""
+        return sum(r.cost.prefetched_pages for r in self.results)
+
+    @property
+    def pool_lock_shards(self) -> int:
+        """Lock stripes of the buffer pool the batch read through."""
+        return max((r.cost.pool_lock_shards for r in self.results), default=0)
+
     def as_rows(self) -> list[tuple[str, str]]:
         """Key/value rows for :func:`repro.eval.tables.format_table`."""
         return [
@@ -136,6 +151,12 @@ class BatchReport:
                 f"{self.scalar_probability_evals:,} scalar; "
                 f"{self.probability_waves:,} waves, "
                 f"max {self.max_wave_size})",
+            ),
+            (
+                "Batched I/O",
+                f"{self.batched_record_reads:,} record gathers / "
+                f"{self.prefetched_pages:,} pages prefetched "
+                f"({self.pool_lock_shards} pool lock shards)",
             ),
             ("Plans reused", f"{self.plans_reused}"),
         ]

@@ -235,6 +235,21 @@ class STIndex:
         self._columnar_records: OrderedDict[
             RecordPointer, ColumnarTimeList
         ] = OrderedDict()
+        # Window-gather memo: (segment, plan) -> the filtered key array
+        # plus the record pointers whose pages the gather touched.  A hit
+        # *replays the charges* (every page access goes back through the
+        # buffer pool) and only skips the decode/filter/concat work, so
+        # the I/O accounting is identical to recomputing — the same
+        # contract as the decoded-record LRUs.  Cleared when appends
+        # extend a directory chain.
+        self._window_gathers: OrderedDict[
+            tuple[int, tuple],
+            tuple[np.ndarray, tuple[RecordPointer, ...], tuple[int, ...]],
+        ] = OrderedDict()
+        # Bumped (under _record_lock) whenever appends grow a directory
+        # chain; a gather that started before the bump must not insert
+        # its pre-append entry into the memo after the clear.
+        self._data_epoch = 0
         self._window_plans: OrderedDict[
             tuple[float, float], tuple[tuple[int, bool, float, float], ...]
         ] = OrderedDict()
@@ -242,6 +257,40 @@ class STIndex:
         self.stats = STIndexStats(num_slots=self.num_slots)
 
     # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def restore(
+        cls,
+        network: RoadNetwork,
+        delta_t_s: int,
+        disk: SimulatedDisk,
+        directory: dict[tuple[int, int], list[RecordPointer]],
+        buffer_pool_pages: int = 512,
+        record_cache_size: int = 4096,
+    ) -> "STIndex":
+        """Rebuild a built index from persisted state (no re-indexing).
+
+        ``disk`` carries the time-list pages (e.g. from
+        :meth:`~repro.storage.disk.SimulatedDisk.from_state`) and
+        ``directory`` the extent pointers into them — the layout
+        :func:`repro.io.persist.save_st_index` round-trips.  Appends keep
+        working: the restored store opens a fresh tail page after the
+        persisted extents.
+        """
+        index = cls(
+            network,
+            delta_t_s,
+            disk=disk,
+            buffer_pool_pages=buffer_pool_pages,
+            record_cache_size=record_cache_size,
+        )
+        index._directory = {
+            key: list(chain) for key, chain in directory.items()
+        }
+        index._built = True
+        index.stats.num_entries = len(index._directory)
+        index.stats.disk_pages = disk.num_pages
+        return index
 
     def build(self, database: TrajectoryDatabase) -> None:
         """Bulk-build the time lists from a matched-trajectory database.
@@ -302,6 +351,10 @@ class STIndex:
                 self._directory[(segment_id, slot)] = [
                     self._store.append(payload)
                 ]
+            # Group commit: the tail page flushes once here instead of on
+            # every record append, so building charges ~one page_write per
+            # page instead of one per record.
+            self._store.flush()
         self._built = True
         self.stats.num_entries = len(self._directory)
         self.stats.disk_pages = self.disk.num_pages
@@ -333,8 +386,15 @@ class STIndex:
             per_date = {d: sorted(visits) for d, visits in pending[key].items()}
             pointer = self._store.append(encode_time_list(per_date))
             self._directory.setdefault(key, []).append(pointer)
+        self._store.flush()
         # (Tail-page cache coherence is handled by the disk's write-through
-        # invalidation of attached pools.)
+        # invalidation of attached pools.)  The window-gather memo is keyed
+        # by segment, not pointer, so grown chains must invalidate it; the
+        # pointer-keyed decoded-record LRUs stay valid (records are
+        # append-only and never mutate).
+        with self._record_lock:
+            self._window_gathers.clear()
+            self._data_epoch += 1
         self.stats.num_entries = len(self._directory)
         self.stats.disk_pages = self.disk.num_pages
         return len(pending)
@@ -551,28 +611,171 @@ class STIndex:
         may repeat across steps and chained records; membership callers
         are unaffected.
         """
+        return self.gather_window_columns((segment_id,), plan)[0][0]
+
+    @staticmethod
+    def _assemble_window_keys(
+        steps: list[tuple[RecordPointer, bool, float, float]],
+        columns: dict[RecordPointer, ColumnarTimeList],
+    ) -> np.ndarray:
+        """Filter and concatenate one segment's decoded window records."""
         parts: list[np.ndarray] = []
-        directory = self._directory
-        for slot, whole_slot, lo, hi in plan:
-            chain = directory.get((segment_id, slot))
-            if chain is None:
+        for pointer, whole_slot, lo, hi in steps:
+            record = columns[pointer]
+            if record.keys.size == 0:
                 continue
-            for pointer in chain:
-                record = self._read_record_columns(pointer)
-                if record.keys.size == 0:
-                    continue
-                if whole_slot:
-                    parts.append(record.keys)
-                    continue
-                mask = (record.seconds >= lo) & (record.seconds < hi)
-                if mask.any():
-                    parts.append(record.keys[mask])
+            if whole_slot:
+                parts.append(record.keys)
+                continue
+            mask = (record.seconds >= lo) & (record.seconds < hi)
+            if mask.any():
+                parts.append(record.keys[mask])
         if not parts:
             return _EMPTY_KEYS
         if len(parts) == 1:
             # Single whole-slot records dominate; avoid copying them.
             return parts[0]
         return np.concatenate(parts)
+
+    def gather_window_columns(
+        self,
+        segment_ids,
+        plan: tuple[tuple[int, bool, float, float], ...],
+    ) -> tuple[list[np.ndarray], int, int]:
+        """Batch window gather for a wave of segments (one charging pass).
+
+        The wave-granular entry point behind every Eq. 3.1 gather: the
+        page accesses of *all* requested segments' records are charged
+        through one :meth:`~repro.storage.pagestore.BufferPool.get_pages`
+        pass in exactly the order the per-segment scalar loop would read
+        them (segment order, plan steps in window order, chain records in
+        append order), so the buffer-pool and disk counters are identical
+        to ``[window_keys_planned(s, plan) for s in segment_ids]`` — but
+        the pool's lock shards are taken once per wave and segments whose
+        filtered key array is already memoized skip the decode and filter
+        work entirely (their page charges are still replayed).
+
+        Returns:
+            ``(keys, record_reads, page_reads)``: per-segment packed-key
+            arrays aligned with ``segment_ids``, plus how many records
+            and pages the gather charged (the ``batched_record_reads`` /
+            ``prefetched_pages`` cost counters).
+        """
+        directory = self._directory
+        cache_on = self.record_cache_size > 0
+        results: list[np.ndarray | None] = []
+        record_reads = 0
+        page_ids: list[int] = []
+        fresh_pointers: list[RecordPointer] = []
+        # Per fresh segment: (result position, segment, filter steps,
+        # and this segment's slice bounds within ``page_ids``).
+        builds: list[
+            tuple[
+                int,
+                int,
+                list[tuple[RecordPointer, bool, float, float]],
+                int,
+                int,
+            ]
+        ] = []
+        with self._record_lock:
+            epoch = self._data_epoch
+            gathers = self._window_gathers
+            for segment_id in segment_ids:
+                key = (segment_id, plan)
+                entry = gathers.get(key) if cache_on else None
+                if entry is not None:
+                    gathers.move_to_end(key)
+                    results.append(entry[0])
+                    record_reads += len(entry[1])
+                    page_ids.extend(entry[2])
+                    continue
+                steps: list[tuple[RecordPointer, bool, float, float]] = []
+                pages_start = len(page_ids)
+                for slot, whole_slot, lo, hi in plan:
+                    chain = directory.get((segment_id, slot))
+                    if chain is not None:
+                        for pointer in chain:
+                            steps.append((pointer, whole_slot, lo, hi))
+                            fresh_pointers.append(pointer)
+                            record_reads += 1
+                            page_ids.extend(
+                                range(
+                                    pointer.first_page,
+                                    pointer.first_page + pointer.num_pages,
+                                )
+                            )
+                builds.append(
+                    (len(results), segment_id, steps, pages_start, len(page_ids))
+                )
+                results.append(None)
+        # One batched charge for the whole wave, in exactly the scalar
+        # per-segment read order: ``page_ids`` interleaves the replayed
+        # accesses of gather-cache hits with the pages of fresh pointers,
+        # so the pool sees the same access sequence the per-segment loop
+        # would produce.  The charged pages are pulled through the pool,
+        # so the decode below never charges again.
+        if fresh_pointers:
+            self._store.ensure_committed(fresh_pointers)
+        self.pool.get_pages(page_ids)
+        if builds:
+            needed: dict[RecordPointer, ColumnarTimeList | None] = {}
+            missing: list[RecordPointer] = []
+            with self._record_lock:
+                columnar = self._columnar_records
+                for _, _, steps, _, _ in builds:
+                    for pointer, _, _, _ in steps:
+                        if pointer in needed:
+                            continue
+                        record = columnar.get(pointer) if cache_on else None
+                        if record is None:
+                            missing.append(pointer)
+                            needed[pointer] = None  # placeholder
+                        else:
+                            columnar.move_to_end(pointer)
+                            needed[pointer] = record
+            for pointer in missing:
+                # Uncharged decode: the pages were charged (and pulled
+                # through the pool) by the batched charge above.
+                needed[pointer] = decode_time_list_columns(
+                    self.disk.extent_bytes(
+                        pointer.first_page, pointer.offset, pointer.length
+                    )
+                )
+            fresh: list[
+                tuple[tuple[int, tuple], np.ndarray, tuple, tuple]
+            ] = []
+            for position, segment_id, steps, pages_start, pages_end in builds:
+                keys = self._assemble_window_keys(steps, needed)
+                results[position] = keys
+                if cache_on:
+                    fresh.append(
+                        (
+                            (segment_id, plan),
+                            keys,
+                            tuple(pointer for pointer, _, _, _ in steps),
+                            tuple(page_ids[pages_start:pages_end]),
+                        )
+                    )
+            if cache_on:
+                with self._record_lock:
+                    columnar = self._columnar_records
+                    for pointer in missing:
+                        columnar[pointer] = needed[pointer]
+                    while len(columnar) > self.record_cache_size:
+                        columnar.popitem(last=False)
+                    if self._data_epoch == epoch:
+                        # An append may have cleared the memo while this
+                        # gather ran outside the lock; inserting the
+                        # pre-append entry would resurrect stale data.
+                        # (The pointer-keyed columnar records above stay
+                        # valid either way — records never mutate.)
+                        gathers = self._window_gathers
+                        for key, keys, pointers, access_pages in fresh:
+                            gathers[key] = (keys, pointers, access_pages)
+                        while len(gathers) > self.record_cache_size:
+                            gathers.popitem(last=False)
+        return results, record_reads, len(page_ids)
 
     def window_keys(
         self, segment_id: int, start_s: float, end_s: float

@@ -3,17 +3,21 @@
 Building the synthetic fleet takes tens of seconds; persisting the built
 dataset to disk makes repeat benchmark sessions and the CLI practical.
 Road networks serialize to JSON, trajectory databases to compressed
-flat-array ``.npz`` files, and a full dataset to a directory of both plus
-its config.
+flat-array ``.npz`` files, a full dataset to a directory of both plus
+its config, and a built ST-Index to one ``.npz`` of disk pages plus its
+extent-pointer directory (so deployments reload indexes without
+re-indexing).
 """
 
 from repro.io.persist import (
     load_database,
     load_dataset,
     load_network,
+    load_st_index,
     save_database,
     save_dataset,
     save_network,
+    save_st_index,
 )
 
 __all__ = [
@@ -23,4 +27,6 @@ __all__ = [
     "load_database",
     "save_dataset",
     "load_dataset",
+    "save_st_index",
+    "load_st_index",
 ]

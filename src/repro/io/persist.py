@@ -10,7 +10,12 @@ Formats:
 * **dataset** — a directory holding ``network.json``,
   ``original_network.json``, ``database.npz`` and ``config.json`` so a
   built :class:`~repro.datasets.shenzhen_like.ShenzhenLikeDataset` round
-  trips exactly.
+  trips exactly;
+* **ST-Index** — one ``.npz`` of the simulated disk's page buffer plus
+  the time-list directory in the extent pointer format
+  ``(first_page, num_pages, offset, length)``, so a built index reloads
+  without re-indexing and serves byte-identical records with identical
+  I/O accounting.
 """
 
 from __future__ import annotations
@@ -27,6 +32,10 @@ from repro.spatial.geometry import Point
 from repro.trajectory.store import TrajectoryDatabase
 
 FORMAT_VERSION = 1
+
+#: Version of the ST-Index ``.npz`` layout — independent of the dataset
+#: formats above, so evolving one cannot invalidate saves of the other.
+ST_INDEX_FORMAT_VERSION = 1
 
 
 # -- road networks ------------------------------------------------------------
@@ -156,6 +165,119 @@ def load_database(path: str | Path) -> TrajectoryDatabase:
             )
     database.finalize()
     return database
+
+
+# -- ST-Indexes ----------------------------------------------------------------
+
+
+def save_st_index(index, path: str | Path) -> Path:
+    """Persist a built ST-Index: disk pages + extent-pointer directory.
+
+    The directory flattens to one row per chain record — segment, slot,
+    position in the chain, and the record's ``(first_page, num_pages,
+    offset, length)`` extent pointer — alongside the disk's contiguous
+    page buffer and per-page payload lengths.
+    """
+    from repro.core.st_index import STIndex
+
+    if not isinstance(index, STIndex):
+        raise TypeError(f"expected an STIndex, got {type(index).__name__}")
+    if not index._built:
+        raise ValueError("build the ST-Index before saving it")
+    path = Path(path)
+    index._store.flush()  # group commit: make the tail page durable
+    buffer, used = index.disk.export_state()
+    segments, slots, positions = [], [], []
+    first_pages, num_pages, offsets, lengths = [], [], [], []
+    for (segment_id, slot), chain in sorted(index._directory.items()):
+        for position, pointer in enumerate(chain):
+            segments.append(segment_id)
+            slots.append(slot)
+            positions.append(position)
+            first_pages.append(pointer.first_page)
+            num_pages.append(pointer.num_pages)
+            offsets.append(pointer.offset)
+            lengths.append(pointer.length)
+    np.savez_compressed(
+        path,
+        version=np.int64(ST_INDEX_FORMAT_VERSION),
+        delta_t_s=np.int64(index.delta_t_s),
+        page_size=np.int64(index.disk.page_size),
+        read_latency_ms=np.float64(index.disk.read_latency_ms),
+        write_latency_ms=np.float64(index.disk.write_latency_ms),
+        buffer_pool_pages=np.int64(index.pool.capacity),
+        record_cache_size=np.int64(index.record_cache_size),
+        pages=np.frombuffer(buffer, dtype=np.uint8),
+        page_used=np.asarray(used, dtype=np.int64),
+        dir_segment=np.asarray(segments, dtype=np.int64),
+        dir_slot=np.asarray(slots, dtype=np.int64),
+        dir_position=np.asarray(positions, dtype=np.int64),
+        dir_first_page=np.asarray(first_pages, dtype=np.int64),
+        dir_num_pages=np.asarray(num_pages, dtype=np.int64),
+        dir_offset=np.asarray(offsets, dtype=np.int64),
+        dir_length=np.asarray(lengths, dtype=np.int64),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_st_index(path: str | Path, network: RoadNetwork):
+    """Inverse of :func:`save_st_index` (needs the matching network)."""
+    from repro.core.st_index import STIndex
+    from repro.storage.disk import SimulatedDisk
+    from repro.storage.pagestore import RecordPointer
+
+    with np.load(Path(path)) as data:
+        if int(data["version"]) != ST_INDEX_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported ST-Index format {int(data['version'])}"
+            )
+        disk = SimulatedDisk.from_state(
+            data["pages"].tobytes(),
+            data["page_used"].tolist(),
+            page_size=int(data["page_size"]),
+            read_latency_ms=float(data["read_latency_ms"]),
+            write_latency_ms=float(data["write_latency_ms"]),
+        )
+        directory: dict[tuple[int, int], list[RecordPointer]] = {}
+        rows = zip(
+            data["dir_segment"].tolist(),
+            data["dir_slot"].tolist(),
+            data["dir_position"].tolist(),
+            data["dir_first_page"].tolist(),
+            data["dir_num_pages"].tolist(),
+            data["dir_offset"].tolist(),
+            data["dir_length"].tolist(),
+        )
+        page_size = int(data["page_size"])
+        num_pages_total = int(data["page_used"].shape[0])
+        for segment_id, slot, position, first_page, pages, offset, length in rows:
+            chain = directory.setdefault((segment_id, slot), [])
+            if position != len(chain):
+                raise ValueError("ST-Index directory rows out of chain order")
+            # Validate extent geometry up front: a corrupt pointer would
+            # otherwise serve wrong bytes (or charge the wrong number of
+            # page reads) deep inside a query instead of failing here.
+            if (
+                pages < 1
+                or first_page < 0
+                or first_page + pages > num_pages_total
+                or offset < 0
+                or length < 0
+                or offset + length > pages * page_size
+            ):
+                raise ValueError(
+                    f"ST-Index pointer ({first_page}, {pages}, {offset}, "
+                    f"{length}) outside the persisted page range"
+                )
+            chain.append(RecordPointer(first_page, pages, offset, length))
+        return STIndex.restore(
+            network,
+            int(data["delta_t_s"]),
+            disk,
+            directory,
+            buffer_pool_pages=int(data["buffer_pool_pages"]),
+            record_cache_size=int(data["record_cache_size"]),
+        )
 
 
 # -- whole datasets ---------------------------------------------------------------

@@ -98,6 +98,7 @@ class RoadNetwork:
         self._out: dict[int, list[int]] = {}
         self._in: dict[int, list[int]] = {}
         self._csr = None
+        self._neighbors: dict[int, tuple[int, ...]] = {}
 
     # -- construction ---------------------------------------------------------
 
@@ -119,6 +120,7 @@ class RoadNetwork:
         self._out[segment.start_node].append(segment.segment_id)
         self._in[segment.end_node].append(segment.segment_id)
         self._csr = None  # adjacency changed; rebuild the CSR view lazily
+        self._neighbors.clear()
 
     def next_node_id(self) -> int:
         return max(self._nodes, default=-1) + 1
@@ -208,12 +210,17 @@ class RoadNetwork:
             result.append(pred_id)
         return result
 
-    def neighbors(self, segment_id: int) -> list[int]:
+    def neighbors(self, segment_id: int) -> tuple[int, ...]:
         """Undirected segment adjacency (successors + predecessors + twins).
 
         This is the ``neighbor(r)`` relation that the trace-back search
-        (Algorithm 2, line 9) expands.
+        (Algorithm 2, line 9) expands.  Memoized per segment (as a
+        read-only tuple) until the topology changes — TBS touches the
+        same shell segments for every query in a batch.
         """
+        cached = self._neighbors.get(segment_id)
+        if cached is not None:
+            return cached
         seg = self._segments[segment_id]
         seen: set[int] = {segment_id}
         result: list[int] = []
@@ -224,7 +231,9 @@ class RoadNetwork:
             if other not in seen:
                 seen.add(other)
                 result.append(other)
-        return result
+        frozen = tuple(result)
+        self._neighbors[segment_id] = frozen
+        return frozen
 
     def csr(self):
         """The cached CSR adjacency view (see :mod:`repro.network.csr`).

@@ -9,14 +9,22 @@ savings first-class and measurable:
 * :class:`~repro.storage.disk.SimulatedDisk` — a page-addressed disk with
   read/write counters and an accounted latency model.
 * :class:`~repro.storage.pagestore.PageStore` — a record store on top of the
-  disk (records may span pages).
-* :class:`~repro.storage.pagestore.BufferPool` — an LRU page cache; only
-  cache misses charge disk reads, mirroring a DBMS buffer manager.
+  disk; each record lives on one contiguous *extent* of pages, writes are
+  group-committed page-at-a-time, and :meth:`~repro.storage.pagestore.PageStore.read_many`
+  gathers a whole wave of records in one charging pass.
+* :class:`~repro.storage.pagestore.BufferPool` — a striped LRU page cache
+  with single-flight misses; only cache misses charge disk reads,
+  mirroring a DBMS buffer manager.
 * :mod:`~repro.storage.serialization` — compact binary record codecs.
 """
 
 from repro.storage.disk import DiskStats, SimulatedDisk
-from repro.storage.pagestore import BufferPool, PageStore, RecordPointer
+from repro.storage.pagestore import (
+    DEFAULT_POOL_SHARDS,
+    BufferPool,
+    PageStore,
+    RecordPointer,
+)
 from repro.storage.serialization import (
     decode_int_list,
     decode_str,
@@ -30,6 +38,7 @@ __all__ = [
     "PageStore",
     "BufferPool",
     "RecordPointer",
+    "DEFAULT_POOL_SHARDS",
     "encode_int_list",
     "decode_int_list",
     "encode_str",

@@ -8,12 +8,21 @@ so every trajectory time-list access in this reproduction goes through a
 an explicit, queryable cost for every page read and write; benchmarks report
 both wall-clock time (real Python work still scales with pages touched) and
 the accounted I/O cost.
+
+Pages live in **one growable contiguous buffer** (not one object per page),
+so a page is an offset range and a record stored on an *extent* — a
+contiguous run of pages handed out by :meth:`SimulatedDisk.allocate` — can
+be served as a single buffer slice instead of a per-page join loop.  All
+counter updates run under one internal lock, so threaded batch workers
+produce exact totals.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 
 DEFAULT_PAGE_SIZE = 4096
@@ -87,17 +96,14 @@ class DiskStats:
         )
 
 
-@dataclass
-class _Page:
-    payload: bytes = b""
-
-
 class SimulatedDisk:
     """An in-memory disk that charges for page-granular I/O.
 
-    Pages are identified by dense integer ids handed out by :meth:`allocate`.
-    Payloads may be shorter than ``page_size`` (trailing space is considered
-    unused) but never longer.
+    Pages are identified by dense integer ids handed out by :meth:`allocate`
+    and backed by one contiguous ``bytearray``: page ``i`` occupies byte
+    range ``[i * page_size, (i + 1) * page_size)``.  Payloads may be shorter
+    than ``page_size`` (trailing space is considered unused) but never
+    longer.
 
     Args:
         page_size: capacity of one page in bytes.
@@ -117,28 +123,81 @@ class SimulatedDisk:
         self.read_latency_ms = read_latency_ms
         self.write_latency_ms = write_latency_ms
         self.stats = DiskStats()
-        self._pages: list[_Page] = []
+        self._buf = bytearray()
+        self._used: list[int] = []  # payload length per page
         self._pools: list[weakref.ReferenceType] = []
+        # One lock covers buffer mutation and counter updates, so batch
+        # worker threads accumulate exact stats.  Buffer pools may call in
+        # while holding their shard locks; the disk never calls back into
+        # a pool while holding this lock (write-through invalidation runs
+        # after it is released), so the lock order is always
+        # shard -> disk and cannot deadlock.
+        self._lock = threading.Lock()
 
     # -- allocation ----------------------------------------------------
 
-    def allocate(self) -> int:
-        """Allocate a fresh empty page and return its id (no I/O charged)."""
-        self._pages.append(_Page())
-        return len(self._pages) - 1
+    def allocate(self, count: int = 1) -> int:
+        """Allocate ``count`` fresh contiguous pages (an *extent*).
+
+        Returns the first page id of the run; no I/O is charged.  With the
+        default ``count=1`` this is the classic single-page allocation.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        with self._lock:
+            return self._allocate_locked(count)
+
+    def allocate_after(self, page_id: int, count: int) -> int | None:
+        """Atomically extend the extent ending at ``page_id``.
+
+        Returns the first id of ``count`` fresh pages *iff* ``page_id``
+        is still the disk's last page — the check and the allocation
+        happen under one lock, so no other store's allocation can slip
+        between them.  Returns ``None`` when ``page_id`` is no longer
+        last (the caller must start a fresh extent instead).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        with self._lock:
+            if page_id != len(self._used) - 1:
+                return None
+            return self._allocate_locked(count)
+
+    def _allocate_locked(self, count: int) -> int:
+        first = len(self._used)
+        self._buf.extend(b"\x00" * (count * self.page_size))
+        self._used.extend([0] * count)
+        return first
 
     @property
     def num_pages(self) -> int:
-        return len(self._pages)
+        return len(self._used)
 
     # -- I/O -----------------------------------------------------------
 
     def read_page(self, page_id: int) -> bytes:
         """Read one page, charging a read to the stats."""
-        page = self._page(page_id)
-        self.stats.page_reads += 1
-        self.stats.bytes_read += len(page.payload)
-        return page.payload
+        with self._lock:
+            used = self._used_checked(page_id)
+            self.stats.page_reads += 1
+            self.stats.bytes_read += used
+            start = page_id * self.page_size
+            return bytes(self._buf[start : start + used])
+
+    def charge_reads(self, page_ids: Sequence[int]) -> None:
+        """Charge a batch of page reads in one pass (no payloads returned).
+
+        Accounting-identical to calling :meth:`read_page` once per id, in
+        order — the same counts and bytes — but takes the stats lock once.
+        The batched record-gather path uses this when the payload bytes
+        are served as a single extent slice rather than per-page chunks.
+        """
+        with self._lock:
+            total_bytes = 0
+            for page_id in page_ids:
+                total_bytes += self._used_checked(page_id)
+            self.stats.page_reads += len(page_ids)
+            self.stats.bytes_read += total_bytes
 
     def write_page(self, page_id: int, payload: bytes) -> None:
         """Write one page, charging a write to the stats.
@@ -151,19 +210,55 @@ class SimulatedDisk:
             raise DiskError(
                 f"payload of {len(payload)} bytes exceeds page size {self.page_size}"
             )
-        page = self._page(page_id)
-        page.payload = bytes(payload)
-        self.stats.page_writes += 1
-        self.stats.bytes_written += len(payload)
-        for ref in self._pools:
-            pool = ref()
+        with self._lock:
+            self._used_checked(page_id)
+            start = page_id * self.page_size
+            self._buf[start : start + len(payload)] = payload
+            self._used[page_id] = len(payload)
+            self.stats.page_writes += 1
+            self.stats.bytes_written += len(payload)
+            pools = [ref() for ref in self._pools]
+        # Invalidate outside the lock: pools take their own shard locks
+        # and may call back into the disk on their next miss.
+        for pool in pools:
             if pool is not None:
                 pool.invalidate(page_id)
 
+    def extent_bytes(self, first_page: int, offset: int, length: int) -> bytes:
+        """Uncharged contiguous slice of an extent's payload bytes.
+
+        The data half of a record read: the caller charges the touched
+        pages (directly or through a buffer pool), then takes the record's
+        bytes as one slice of the backing buffer — no per-page join.  Only
+        meaningful for extents written front-to-back by a
+        :class:`~repro.storage.pagestore.PageStore`.
+        """
+        if length < 0 or offset < 0:
+            raise DiskError(f"bad extent slice offset={offset} length={length}")
+        start = first_page * self.page_size + offset
+        with self._lock:
+            if start + length > len(self._buf):
+                raise DiskError("extent slice beyond allocated pages")
+            return bytes(self._buf[start : start + length])
+
     def attach_pool(self, pool) -> None:
-        """Register a buffer pool for write-through invalidation."""
-        self._pools = [ref for ref in self._pools if ref() is not None]
-        self._pools.append(weakref.ref(pool))
+        """Register a buffer pool for write-through invalidation.
+
+        Dead references are pruned and re-attaching a live pool is a
+        no-op, so a pool can never be invalidated (or counted by
+        :meth:`snapshot`) twice.
+        """
+        with self._lock:
+            live = []
+            for ref in self._pools:
+                existing = ref()
+                if existing is None:
+                    continue
+                if existing is pool:
+                    return
+                live.append(ref)
+            live.append(weakref.ref(pool))
+            self._pools = live
 
     # -- accounting ----------------------------------------------------
 
@@ -178,28 +273,74 @@ class SimulatedDisk:
     def snapshot(self) -> DiskStats:
         """A copy of the current counters, for before/after differencing.
 
-        Includes the hit/miss/eviction counters of every attached buffer
-        pool, so a snapshot difference reports cache effectiveness next to
-        the raw I/O it saved.
+        Includes the hit/miss/eviction counters of every *live* attached
+        buffer pool, so a snapshot difference reports cache effectiveness
+        next to the raw I/O it saved.  References to collected pools are
+        pruned here as well as in :meth:`attach_pool`, so a long-lived
+        service that retires many pools neither leaks weakrefs nor
+        double-counts a pool that re-attaches.
         """
-        stats = self.stats.copy()
-        for ref in self._pools:
-            pool = ref()
-            if pool is not None:
-                stats.pool_hits += pool.hits
-                stats.pool_misses += pool.misses
-                stats.pool_evictions += pool.evictions
+        with self._lock:
+            stats = self.stats.copy()
+            live: list[weakref.ReferenceType] = []
+            pools = []
+            for ref in self._pools:
+                pool = ref()
+                if pool is None:
+                    continue
+                live.append(ref)
+                pools.append(pool)
+            self._pools = live
+        for pool in pools:
+            stats.pool_hits += pool.hits
+            stats.pool_misses += pool.misses
+            stats.pool_evictions += pool.evictions
         return stats
 
     def reset_stats(self) -> None:
-        self.stats = DiskStats()
+        with self._lock:
+            self.stats = DiskStats()
+
+    # -- persistence ----------------------------------------------------
+
+    def export_state(self) -> tuple[bytes, tuple[int, ...]]:
+        """The backing buffer and per-page payload lengths, for persisting."""
+        with self._lock:
+            return bytes(self._buf), tuple(self._used)
+
+    @classmethod
+    def from_state(
+        cls,
+        buffer: bytes,
+        used: Iterable[int],
+        page_size: int = DEFAULT_PAGE_SIZE,
+        read_latency_ms: float = DEFAULT_READ_LATENCY_MS,
+        write_latency_ms: float = DEFAULT_WRITE_LATENCY_MS,
+    ) -> "SimulatedDisk":
+        """Rebuild a disk from :meth:`export_state` output (stats reset)."""
+        disk = cls(
+            page_size=page_size,
+            read_latency_ms=read_latency_ms,
+            write_latency_ms=write_latency_ms,
+        )
+        used_list = [int(u) for u in used]
+        if len(buffer) != len(used_list) * page_size:
+            raise DiskError(
+                f"buffer of {len(buffer)} bytes does not cover "
+                f"{len(used_list)} pages of {page_size} bytes"
+            )
+        if any(u < 0 or u > page_size for u in used_list):
+            raise DiskError("per-page payload length outside [0, page_size]")
+        disk._buf = bytearray(buffer)
+        disk._used = used_list
+        return disk
 
     # -- internal --------------------------------------------------------
 
-    def _page(self, page_id: int) -> _Page:
-        if not 0 <= page_id < len(self._pages):
+    def _used_checked(self, page_id: int) -> int:
+        if not 0 <= page_id < len(self._used):
             raise DiskError(f"page {page_id} was never allocated")
-        return self._pages[page_id]
+        return self._used[page_id]
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (

@@ -1,14 +1,30 @@
 """Record-oriented storage on top of the simulated disk.
 
-:class:`PageStore` packs variable-length records into fixed-size pages; a
-record that does not fit the remaining space of the current page spills onto
-freshly allocated continuation pages.  Reading a record therefore touches
+:class:`PageStore` packs variable-length records into fixed-size pages.
+Every record occupies an **extent** — a contiguous run of pages — so a
+:class:`RecordPointer` is just ``(first_page, num_pages, offset, length)``
+and reading a record back is a single slice of the disk's backing buffer
+instead of a per-page join loop.  Reading still *charges*
 ``ceil(record bytes / page size)``-ish pages — exactly the cost model the
-paper's index design optimises against.
+paper's index design optimises against; only the Python work per read
+shrinks.
+
+Writes are **group-committed**: the tail page stays in an in-memory write
+buffer and is flushed when it fills (a page boundary) or on an explicit
+:meth:`PageStore.flush`, so building an index charges about one
+``page_write`` per page instead of one per record.  Reading a record whose
+extent includes the dirty tail flushes it first, keeping readers coherent.
 
 :class:`BufferPool` interposes an LRU page cache, so repeated access to hot
 pages (e.g. the start segment's time list during trace-back search) is free
-after the first read, mirroring a DBMS buffer manager.
+after the first read, mirroring a DBMS buffer manager.  The pool is
+**striped** into independently locked LRU shards (``page_id % shards``)
+with *single-flight* miss handling — a miss is fetched while the shard
+lock is held, so two threads missing the same page charge exactly one disk
+read and threaded-batch :class:`~repro.storage.disk.DiskStats` stay
+deterministic.  :meth:`BufferPool.get_pages` charges a whole batch of page
+accesses taking each shard lock once, the entry point the wave-granular
+record gathers use.
 """
 
 from __future__ import annotations
@@ -16,139 +32,412 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.storage.disk import SimulatedDisk
+
+#: Default lock-stripe count for :class:`BufferPool`.  Small enough that a
+#: few-hundred-page pool still gets meaningfully sized LRU shards, large
+#: enough that batch worker threads rarely contend on one lock.
+DEFAULT_POOL_SHARDS = 8
 
 
 @dataclass(frozen=True)
 class RecordPointer:
-    """Location of a stored record: its page chain and total length."""
+    """Location of a stored record: one extent plus offset and length.
 
-    page_ids: tuple[int, ...]
+    Attributes:
+        first_page: first page id of the record's contiguous extent.
+        num_pages: pages the record's bytes span (at least 1, so reading
+            an empty record still charges the page that holds its slot —
+            the same cost the chain layout used to charge).
+        offset: byte offset of the record within the first page.
+        length: total record length in bytes.
+    """
+
+    first_page: int
+    num_pages: int
     offset: int
     length: int
+
+    @property
+    def page_ids(self) -> tuple[int, ...]:
+        """The extent as explicit page ids (compatibility accessor)."""
+        return tuple(range(self.first_page, self.first_page + self.num_pages))
+
+    def __contains__(self, page_id: int) -> bool:
+        return self.first_page <= page_id < self.first_page + self.num_pages
 
 
 class PageStore:
     """Append-only record store over a :class:`SimulatedDisk`.
 
-    Records are appended with :meth:`append` and fetched with :meth:`read`.
-    The store keeps an in-memory write buffer for the tail page and flushes
-    it page-at-a-time; directory state (record pointers) lives in memory, as
-    index directories do in the paper's design, while record *payloads* cost
-    disk I/O to read back.
+    Records are appended with :meth:`append` and fetched with :meth:`read`
+    (or in batches with :meth:`read_many`).  The store keeps an in-memory
+    write buffer for the tail page and group-commits it (flush on page
+    boundary, plus :meth:`flush` at build end); directory state (record
+    pointers) lives in memory, as index directories do in the paper's
+    design, while record *payloads* cost disk I/O to read back.
+
+    The tail state is guarded by an internal lock, so concurrent appends
+    (the Con-Index materialises entries lazily from query worker
+    threads) cannot interleave a record's extent; reads are thread-safe
+    via the same lock plus the disk's and pool's own locks.
     """
 
     def __init__(self, disk: SimulatedDisk) -> None:
         self._disk = disk
-        self._tail_page_id = disk.allocate()
+        # The tail page is allocated lazily on first append, so opening a
+        # store over existing pages (the persistence restore path) does
+        # not grow the disk.
+        self._tail_page_id: int | None = None
         self._tail = bytearray()
+        self._dirty = False
+        self._tail_lock = threading.Lock()
 
     @property
     def disk(self) -> SimulatedDisk:
         return self._disk
 
-    def append(self, payload: bytes) -> RecordPointer:
-        """Store ``payload`` and return a pointer for later reads."""
-        page_size = self._disk.page_size
-        offset = len(self._tail)
-        pages = [self._tail_page_id]
-        remaining = memoryview(bytes(payload))
-        space = page_size - len(self._tail)
-        take = min(space, len(remaining))
-        self._tail.extend(remaining[:take])
-        remaining = remaining[take:]
-        self._flush_tail()
-        while len(remaining) > 0:
-            self._tail_page_id = self._disk.allocate()
-            self._tail = bytearray()
-            take = min(page_size, len(remaining))
-            self._tail.extend(remaining[:take])
-            remaining = remaining[take:]
-            pages.append(self._tail_page_id)
-            self._flush_tail()
-        if len(self._tail) == page_size:
-            self._tail_page_id = self._disk.allocate()
-            self._tail = bytearray()
-        return RecordPointer(tuple(pages), offset, len(payload))
+    # -- writes ----------------------------------------------------------
 
-    def read(self, pointer: RecordPointer, pool: "BufferPool | None" = None) -> bytes:
-        """Read a record back; every page in its chain is charged (or cached)."""
-        chunks: list[bytes] = []
-        needed = pointer.length
-        for index, page_id in enumerate(pointer.page_ids):
-            page = (
-                pool.get_page(page_id)
-                if pool is not None
-                else self._disk.read_page(page_id)
-            )
-            start = pointer.offset if index == 0 else 0
-            chunk = page[start : start + needed]
-            chunks.append(chunk)
-            needed -= len(chunk)
-            if needed <= 0:
+    def append(self, payload: bytes) -> RecordPointer:
+        """Store ``payload`` on one contiguous extent and return a pointer.
+
+        The record continues the current tail page when possible; when the
+        disk has since handed pages to another store (extents must stay
+        contiguous), the tail is retired and the record starts a fresh
+        extent at offset 0.  Full pages are written immediately (the group
+        commit's page-boundary flush); a partial final page becomes the
+        new dirty tail.
+        """
+        with self._tail_lock:
+            return self._append_locked(payload)
+
+    def _append_locked(self, payload: bytes) -> RecordPointer:
+        disk = self._disk
+        page_size = disk.page_size
+        if self._tail_page_id is None:
+            self._tail_page_id = disk.allocate()
+        data = memoryview(bytes(payload))
+        length = len(data)
+        offset = len(self._tail)
+        space = page_size - offset
+
+        if length <= space:
+            if length:
+                self._tail += data
+                self._dirty = True
+            pointer = RecordPointer(self._tail_page_id, 1, offset, length)
+            if len(self._tail) == page_size:
+                self._flush_tail()
+                self._tail_page_id = None  # next append opens a fresh tail
+                self._tail = bytearray()
+            return pointer
+
+        # Atomic check-and-extend: the continuation pages are allocated
+        # only if the tail page is still the disk's last page, under the
+        # disk's own lock — another store's interleaved allocation makes
+        # this return None instead of silently breaking contiguity.
+        extra = -(-(length - space) // page_size)
+        first_new = disk.allocate_after(self._tail_page_id, extra)
+        if first_new is not None:
+            first = self._tail_page_id
+            start_offset = offset
+            self._tail += data[:space]
+            consumed = space
+            self._flush_tail()  # page boundary: the tail is now full
+            num_pages = 1 + extra
+        else:
+            # Another store on this disk allocated pages since our tail
+            # was handed out; retire the tail and pack the whole record
+            # into a fresh contiguous extent.
+            if self._dirty:
+                self._flush_tail()
+            first = first_new = disk.allocate(-(-length // page_size))
+            start_offset = 0
+            consumed = 0
+            extra = num_pages = -(-length // page_size)
+
+        for i in range(extra):
+            chunk = data[consumed : consumed + page_size]
+            consumed += len(chunk)
+            if len(chunk) == page_size:
+                disk.write_page(first_new + i, bytes(chunk))
+            else:
+                # Partial final page: becomes the new (dirty) tail.
+                self._tail_page_id = first_new + i
+                self._tail = bytearray(chunk)
+                self._dirty = True
                 break
-        data = b"".join(chunks)
-        if len(data) != pointer.length:
-            raise ValueError(
-                f"short read: wanted {pointer.length} bytes, got {len(data)}"
-            )
-        return data
+        else:
+            # The record ended exactly on a page boundary; the next
+            # append opens a fresh tail.
+            self._tail_page_id = None
+            self._tail = bytearray()
+            self._dirty = False
+        return RecordPointer(first, num_pages, start_offset, length)
+
+    def flush(self) -> None:
+        """Write the dirty tail page out (the build-end group commit)."""
+        if not self._dirty:
+            return
+        with self._tail_lock:
+            if self._dirty:
+                self._flush_tail()
+
+    def ensure_committed(self, pointers: Iterable[RecordPointer]) -> None:
+        """Flush the tail iff any pointer's extent includes the dirty tail.
+
+        Callers that charge page accesses themselves (the batched gather
+        path) use this before slicing record bytes out of the backing
+        buffer.  The unlocked ``_dirty`` fast check is safe: a pointer
+        only becomes visible to readers after its append returned, at
+        which point any of its unflushed bytes have already set the flag.
+        """
+        if not self._dirty:
+            return
+        with self._tail_lock:
+            if not self._dirty:
+                return
+            tail = self._tail_page_id
+            for pointer in pointers:
+                if tail in pointer:
+                    self._flush_tail()
+                    return
 
     def _flush_tail(self) -> None:
         self._disk.write_page(self._tail_page_id, bytes(self._tail))
+        self._dirty = False
+
+    # -- reads -----------------------------------------------------------
+
+    def read(self, pointer: RecordPointer, pool: "BufferPool | None" = None) -> bytes:
+        """Read a record back; every page of its extent is charged (or cached).
+
+        The charge is per page — through the pool when given, straight to
+        the disk otherwise — and the payload is one contiguous slice of
+        the disk's backing buffer.  A record overlapping the dirty tail
+        forces a tail flush first, so readers always see committed bytes.
+        """
+        # Snapshot the tail id: a concurrent append can flush a full tail
+        # and reset it to None between these reads (dirty implies a tail
+        # exists only under the lock).
+        tail = self._tail_page_id
+        if self._dirty and tail is not None and tail in pointer:
+            with self._tail_lock:
+                tail = self._tail_page_id
+                if self._dirty and tail is not None and tail in pointer:
+                    self._flush_tail()
+        if pool is not None:
+            if pointer.num_pages == 1:
+                pool.get_page(pointer.first_page)
+            else:
+                pool.get_pages(pointer.page_ids)
+        else:
+            self._disk.charge_reads(pointer.page_ids)
+        return self._disk.extent_bytes(
+            pointer.first_page, pointer.offset, pointer.length
+        )
+
+    def read_many(
+        self,
+        pointers: Sequence[RecordPointer],
+        pool: "BufferPool | None" = None,
+    ) -> list[bytes]:
+        """Batch read: gather many records' pages in one charging pass.
+
+        Accounting-identical to calling :meth:`read` once per pointer in
+        order — the same page access sequence (pointer order, pages within
+        each extent in order, duplicates charged every time) against the
+        same pool — but the pool charge takes each lock shard once for the
+        whole batch and the payloads come out as single extent slices.
+        ``tests/test_batched_io.py`` proves the equivalence on randomized
+        record sets.  (The ST-Index wave gather charges through
+        :meth:`BufferPool.get_pages` directly, with memoized access-page
+        lists, because its decoded-record cache makes the payloads
+        themselves unnecessary — same accounting, one layer lower.)
+
+        Args:
+            pointers: record pointers, in the order the sequential scalar
+                loop would read them (duplicates allowed and charged).
+            pool: buffer pool to charge through (``None``: straight disk
+                reads).
+
+        Returns:
+            Payloads aligned with ``pointers``.
+        """
+        self.ensure_committed(pointers)
+        page_ids: list[int] = []
+        for pointer in pointers:
+            page_ids.extend(
+                range(pointer.first_page, pointer.first_page + pointer.num_pages)
+            )
+        if pool is not None:
+            pool.get_pages(page_ids)
+        else:
+            self._disk.charge_reads(page_ids)
+        extent_bytes = self._disk.extent_bytes
+        return [
+            extent_bytes(p.first_page, p.offset, p.length) for p in pointers
+        ]
 
 
-class BufferPool:
-    """A fixed-capacity LRU cache of disk pages.
+class _PoolShard:
+    """One lock stripe of a :class:`BufferPool`: an LRU map plus counters."""
 
-    Args:
-        disk: backing simulated disk.
-        capacity: maximum number of cached pages; ``0`` disables caching
-            (every access is a disk read).
-    """
+    __slots__ = ("lock", "pages", "quota", "hits", "misses", "evictions")
 
-    def __init__(self, disk: SimulatedDisk, capacity: int = 256) -> None:
-        if capacity < 0:
-            raise ValueError(f"capacity must be >= 0, got {capacity}")
-        self._disk = disk
-        self.capacity = capacity
-        self._pages: OrderedDict[int, bytes] = OrderedDict()
-        # Pools are shared across QueryService batch worker threads; the
-        # lock keeps the LRU's check-then-act sequences atomic.
-        self._lock = threading.Lock()
+    def __init__(self, quota: int) -> None:
+        self.lock = threading.Lock()
+        self.pages: OrderedDict[int, bytes] = OrderedDict()
+        self.quota = quota
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of disk pages, striped for concurrency.
+
+    Pages map to ``page_id % num_shards`` lock stripes, each an
+    independent LRU holding its share of the capacity.  A miss is fetched
+    from the disk *while the shard lock is held* — the single-flight
+    guarantee: a second thread requesting the same missing page blocks on
+    the shard lock and then hits the freshly cached copy, so concurrent
+    misses charge exactly one disk read and the hit/miss counters match
+    the sequential schedule.  (The simulated disk read is memory-speed, so
+    holding the lock across it costs nothing; other shards stay
+    available.)
+
+    Args:
+        disk: backing simulated disk.
+        capacity: maximum number of cached pages across all shards; ``0``
+            disables caching (every access is a disk read).
+        shards: requested lock-stripe count; clamped to ``capacity`` so
+            every shard holds at least one page.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity: int = 256,
+        shards: int = DEFAULT_POOL_SHARDS,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self._disk = disk
+        self.capacity = capacity
+        count = max(1, min(shards, capacity)) if capacity > 0 else 1
+        base, remainder = divmod(capacity, count)
+        self._shards = [
+            _PoolShard(base + (1 if i < remainder else 0)) for i in range(count)
+        ]
         disk.attach_pool(self)
+
+    @property
+    def num_shards(self) -> int:
+        """Lock stripes backing the pool (the ``pool_lock_shards`` metric)."""
+        return len(self._shards)
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(s.evictions for s in self._shards)
 
     def get_page(self, page_id: int) -> bytes:
         """Return a page, reading from disk only on a cache miss."""
         if self.capacity == 0:
-            self.misses += 1
+            shard = self._shards[0]
+            with shard.lock:
+                shard.misses += 1
             return self._disk.read_page(page_id)
-        with self._lock:
-            cached = self._pages.get(page_id)
+        shard = self._shards[page_id % len(self._shards)]
+        with shard.lock:
+            pages = shard.pages
+            cached = pages.get(page_id)
             if cached is not None:
-                self._pages.move_to_end(page_id)
-                self.hits += 1
+                shard.hits += 1
+                pages.move_to_end(page_id)
                 return cached
-        self.misses += 1
-        payload = self._disk.read_page(page_id)
-        with self._lock:
-            self._pages[page_id] = payload
-            if len(self._pages) > self.capacity:
-                self._pages.popitem(last=False)
-                self.evictions += 1
-        return payload
+            # Single flight: fetch under the shard lock, so a concurrent
+            # request for the same page waits here and then hits.
+            shard.misses += 1
+            payload = self._disk.read_page(page_id)
+            pages[page_id] = payload
+            if len(pages) > shard.quota:
+                pages.popitem(last=False)
+                shard.evictions += 1
+            return payload
+
+    def get_pages(self, page_ids: Iterable[int]) -> None:
+        """Charge (and cache) a batch of page accesses in one pass.
+
+        Semantically identical to calling :meth:`get_page` once per id in
+        order — same hits, misses, evictions and disk reads, duplicates
+        charged every time — but each shard's lock is taken once per
+        batch.  Accesses are processed per shard in input order; shards
+        are independent LRUs, so cross-shard interleaving cannot change
+        any counter.  Returns nothing: batch callers take record payloads
+        as extent slices, the pool only accounts and keeps pages warm.
+        """
+        if self.capacity == 0:
+            ids = list(page_ids)
+            shard = self._shards[0]
+            with shard.lock:
+                shard.misses += len(ids)
+            self._disk.charge_reads(ids)
+            return
+        if isinstance(page_ids, (list, tuple)) and len(page_ids) == 1:
+            self.get_page(page_ids[0])
+            return
+        count = len(self._shards)
+        if count == 1:
+            buckets = [(self._shards[0], list(page_ids))]
+        else:
+            grouped: dict[int, list[int]] = {}
+            for page_id in page_ids:
+                grouped.setdefault(page_id % count, []).append(page_id)
+            buckets = [(self._shards[i], ids) for i, ids in grouped.items()]
+        read_page = self._disk.read_page
+        for shard, ids in buckets:
+            with shard.lock:
+                pages = shard.pages
+                pages_get = pages.get
+                move_to_end = pages.move_to_end
+                quota = shard.quota
+                hits = 0
+                for page_id in ids:
+                    if pages_get(page_id) is not None:
+                        hits += 1
+                        move_to_end(page_id)
+                        continue
+                    shard.misses += 1
+                    pages[page_id] = read_page(page_id)
+                    if len(pages) > quota:
+                        pages.popitem(last=False)
+                        shard.evictions += 1
+                shard.hits += hits
 
     def invalidate(self, page_id: int | None = None) -> None:
         """Drop one page (or everything) from the cache."""
-        with self._lock:
-            if page_id is None:
-                self._pages.clear()
-            else:
-                self._pages.pop(page_id, None)
+        if page_id is None:
+            for shard in self._shards:
+                with shard.lock:
+                    shard.pages.clear()
+            return
+        shard = self._shards[page_id % len(self._shards)]
+        with shard.lock:
+            shard.pages.pop(page_id, None)
 
     @property
     def hit_rate(self) -> float:

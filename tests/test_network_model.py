@@ -86,7 +86,8 @@ class TestTopology:
 
     def test_neighbors_include_twin(self):
         net = simple_pair()
-        assert net.neighbors(0) == [1]
+        # neighbors() serves a memoized read-only tuple.
+        assert net.neighbors(0) == (1,)
 
     def test_chain_successors(self, tiny_network):
         for sid in tiny_network.segment_ids():
