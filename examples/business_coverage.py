@@ -49,10 +49,6 @@ DEMO_CONFIG = demo_config(ShenzhenLikeConfig(
 def main() -> None:
     print("Building dataset ...")
     dataset = build_shenzhen_like(DEMO_CONFIG)
-    client = ReachabilityClient(
-        ReachabilityEngine(dataset.network, dataset.database)
-    )
-
     query = MQuery(
         locations=BRANCHES,
         start_time_s=day_time(10),
@@ -60,13 +56,16 @@ def main() -> None:
         prob=0.2,
     )
 
-    print("\nAnswering the m-query (auto-routed) ...")
-    merged = client.send(Request(query))
-    print(f"  {merged.route.describe()}")
-    print("Answering it as three independent s-queries ...")
-    naive = client.send(
-        Request(query, QueryOptions(algorithm="sqmb_tbs_each"))
-    )
+    with ReachabilityClient(
+        ReachabilityEngine(dataset.network, dataset.database)
+    ) as client:
+        print("\nAnswering the m-query (auto-routed) ...")
+        merged = client.send(Request(query))
+        print(f"  {merged.route.describe()}")
+        print("Answering it as three independent s-queries ...")
+        naive = client.send(
+            Request(query, QueryOptions(algorithm="sqmb_tbs_each"))
+        )
 
     km = merged.result.road_length_m(dataset.network) / 1000.0
     print(f"\n=== Combined coverage: {len(merged.segments)} segments, {km:.1f} km ===")

@@ -51,10 +51,6 @@ DEMO_CONFIG = demo_config(ShenzhenLikeConfig(
 def main() -> None:
     print("Building dataset ...")
     dataset = build_shenzhen_like(DEMO_CONFIG)
-    client = ReachabilityClient(
-        ReachabilityEngine(dataset.network, dataset.database)
-    )
-
     print(f"\nStation at {STATION.as_tuple()}, deadline "
           f"{DEADLINE_S // 60} minutes.\n")
 
@@ -74,7 +70,10 @@ def main() -> None:
         )
         for hour in HOURS
     ]
-    report = client.run_batch(requests)
+    with ReachabilityClient(
+        ReachabilityEngine(dataset.network, dataset.database)
+    ) as client:
+        report = client.run_batch(requests)
 
     print("Coverage by confidence level (at 11:00):")
     print(f"  {'Prob':>6}  {'segments':>9}  {'road km':>8}")

@@ -54,28 +54,28 @@ def main() -> None:
     output_dir.mkdir(parents=True, exist_ok=True)
     print("Building dataset ...")
     dataset = build_shenzhen_like(DEMO_CONFIG)
-    client = ReachabilityClient(
-        ReachabilityEngine(dataset.network, dataset.database)
-    )
-
     results = {}
-    for label, hour in (("off-peak 13:00", 13), ("evening rush 18:00", 18)):
-        response = client.send(
-            Request(
-                SQuery(
-                    location=MALL_LOCATION,
-                    start_time_s=day_time(hour),
-                    duration_s=10 * 60,
-                    prob=0.2,
-                ),
-                QueryOptions(direction="reverse", tag=label),
+    with ReachabilityClient(
+        ReachabilityEngine(dataset.network, dataset.database)
+    ) as client:
+        for label, hour in (("off-peak 13:00", 13), ("evening rush 18:00", 18)):
+            response = client.send(
+                Request(
+                    SQuery(
+                        location=MALL_LOCATION,
+                        start_time_s=day_time(hour),
+                        duration_s=10 * 60,
+                        prob=0.2,
+                    ),
+                    QueryOptions(direction="reverse", tag=label),
+                )
             )
-        )
-        results[label] = response.result
-        km = response.result.road_length_m(dataset.network) / 1000.0
-        print(f"\n=== Reachable region at {label}: "
-              f"{len(response.segments)} segments, {km:.1f} km ===")
-        print(render_region(response.result, dataset.network, width=60, height=24))
+            results[label] = response.result
+            km = response.result.road_length_m(dataset.network) / 1000.0
+            print(f"\n=== Reachable region at {label}: "
+                  f"{len(response.segments)} segments, {km:.1f} km ===")
+            print(render_region(response.result, dataset.network,
+                                width=60, height=24))
 
     off_peak = results["off-peak 13:00"]
     rush = results["evening rush 18:00"]

@@ -55,43 +55,43 @@ RESTAURANTS = [
 def main() -> None:
     print("Building dataset ...")
     dataset = build_shenzhen_like(DEMO_CONFIG)
-    client = ReachabilityClient(
+    with ReachabilityClient(
         ReachabilityEngine(dataset.network, dataset.database)
-    )
-
-    user = Point(0.0, 0.0)
-    print("\n1) Lunch recommendation: user downtown at 12:30, 10-minute "
-          "budget, 20% confidence")
-    ranked = recommend_pois(
-        client, user, day_time(12, 30), 10 * 60, RESTAURANTS, prob=0.2,
-    )
-    if not ranked:
-        print("  (no restaurant reachable — try a longer budget)")
-    for i, entry in enumerate(ranked, start=1):
-        prob = (
-            f"{entry.probability:.0%}" if entry.probability is not None
-            else "interior"
+    ) as client:
+        user = Point(0.0, 0.0)
+        print("\n1) Lunch recommendation: user downtown at 12:30, 10-minute "
+              "budget, 20% confidence")
+        ranked = recommend_pois(
+            client, user, day_time(12, 30), 10 * 60, RESTAURANTS, prob=0.2,
         )
-        print(f"  {i}. {entry.poi.name:<16} {entry.distance_m:7.0f} m away, "
-              f"reachability {prob}")
-    skipped = {p.name for p in RESTAURANTS} - {r.poi.name for r in ranked}
-    if skipped:
-        print(f"  not reachable in time: {', '.join(sorted(skipped))}")
-
-    if ranked:
-        winner = ranked[0].poi
-        print(f"\n2) Reverse advertising for {winner.name!r}: from where can "
-              "customers arrive within 10 minutes at 18:30?")
-        reverse = client.send(
-            Request(
-                SQuery(winner.location, day_time(18, 30), 10 * 60, 0.2),
-                QueryOptions(direction="reverse", tag="coupon-catchment"),
+        if not ranked:
+            print("  (no restaurant reachable — try a longer budget)")
+        for i, entry in enumerate(ranked, start=1):
+            prob = (
+                f"{entry.probability:.0%}" if entry.probability is not None
+                else "interior"
             )
-        )
-        km = reverse.result.road_length_m(dataset.network) / 1000.0
-        print(f"  catchment: {len(reverse.segments)} segments, {km:.1f} km "
-              "of road — distribute coupons here:")
-        print(render_region(reverse.result, dataset.network, width=60, height=22))
+            print(f"  {i}. {entry.poi.name:<16} {entry.distance_m:7.0f} m "
+                  f"away, reachability {prob}")
+        skipped = {p.name for p in RESTAURANTS} - {r.poi.name for r in ranked}
+        if skipped:
+            print(f"  not reachable in time: {', '.join(sorted(skipped))}")
+
+        if ranked:
+            winner = ranked[0].poi
+            print(f"\n2) Reverse advertising for {winner.name!r}: from where "
+                  "can customers arrive within 10 minutes at 18:30?")
+            reverse = client.send(
+                Request(
+                    SQuery(winner.location, day_time(18, 30), 10 * 60, 0.2),
+                    QueryOptions(direction="reverse", tag="coupon-catchment"),
+                )
+            )
+            km = reverse.result.road_length_m(dataset.network) / 1000.0
+            print(f"  catchment: {len(reverse.segments)} segments, {km:.1f} "
+                  "km of road — distribute coupons here:")
+            print(render_region(reverse.result, dataset.network,
+                                width=60, height=22))
 
 
 if __name__ == "__main__":

@@ -50,17 +50,17 @@ def main() -> None:
         print(f"  {key}: {value}")
 
     print("\nBuilding indexes and answering the query ...")
-    client = ReachabilityClient(
-        ReachabilityEngine(dataset.network, dataset.database)
-    )
     query = SQuery(
         location=Point(0.0, 0.0),  # downtown
         start_time_s=day_time(11),  # 11:00
         duration_s=15 * 60,  # L = 15 minutes
         prob=0.2,  # reachable on >= 20% of days
     )
-    ours = client.send(Request(query))  # algorithm="auto"
-    baseline = client.send(Request(query, QueryOptions(algorithm="es")))
+    with ReachabilityClient(
+        ReachabilityEngine(dataset.network, dataset.database)
+    ) as client:
+        ours = client.send(Request(query))  # algorithm="auto"
+        baseline = client.send(Request(query, QueryOptions(algorithm="es")))
     print(f"  {ours.route.describe()}")
 
     print(f"\nProb-reachable region: {len(ours.segments)} road segments, "

@@ -56,6 +56,14 @@ class ReachabilityClient:
         router: the routing policy for ``algorithm="auto"`` requests.
         max_workers: worker-pool size for :meth:`submit` futures (stream
             pipelines size their own pools per call).
+        backend: default :meth:`run_batch` execution backend —
+            ``"threaded"`` (the in-process pipeline) or ``"sharded"``
+            (spatial shards on worker processes, see
+            :mod:`repro.serving`).  The sharded engine spawns lazily on
+            the first sharded batch and is shut down by :meth:`close`.
+        shards: spatial partition arity for the sharded backend.
+        shard_workers: worker-process count for the sharded backend
+            (default ``None`` = one process per shard).
     """
 
     def __init__(
@@ -63,12 +71,22 @@ class ReachabilityClient:
         target: QueryService | ReachabilityEngine,
         router: Router | None = None,
         max_workers: int = 4,
+        backend: str = "threaded",
+        shards: int = 4,
+        shard_workers: int | None = None,
     ) -> None:
+        if backend not in ("threaded", "sharded"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.service = as_service(target)
         self.router = router if router is not None else Router()
         self.max_workers = max_workers
+        self.backend = backend
+        self.shards = shards
+        self.shard_workers = shard_workers
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        self._sharded = None
+        self._sharded_lock = threading.Lock()
 
     # -- conveniences ------------------------------------------------------
 
@@ -140,13 +158,14 @@ class ReachabilityClient:
         """Answer one request on the client's worker pool.
 
         Returns a future resolving to the :class:`Response`; submissions
-        from many tenants interleave on the shared pool.  Results are
-        exact, but each submission keeps single-send cost semantics: a
-        cold request invalidates the shared buffer pools and diffs the
-        engine-global disk counters around its own run, so per-response
-        cost attribution is approximate while submissions overlap (pass
-        ``warm=True`` options, or use :meth:`stream`/:meth:`run_batch`,
-        for a shared accounting window).
+        from many tenants interleave on the shared pool.  Per-response
+        cost attribution is exact even while submissions overlap — each
+        execution windows its own thread-local disk counters
+        (:meth:`~repro.storage.disk.SimulatedDisk.local_snapshot`) — but
+        a *cold* request still invalidates the shared buffer pools for
+        everyone, so overlapping cold submissions charge each other
+        re-reads; pass ``warm=True`` options, or use
+        :meth:`stream`/:meth:`run_batch`, for a shared warm window.
         """
         with self._pool_lock:
             if self._pool is None:
@@ -199,14 +218,45 @@ class ReachabilityClient:
         warm: bool = False,
         max_workers: int = 1,
         window: int | None = None,
+        backend: str | None = None,
     ) -> BatchReport:
-        """Run requests through :meth:`stream` and aggregate the report."""
+        """Run requests through :meth:`stream` and aggregate the report.
+
+        Args:
+            backend: override the client's default backend for this
+                batch — ``"sharded"`` scatters the requests across the
+                spatial shard workers (:mod:`repro.serving`) instead of
+                the in-process thread pipeline; ``max_workers``/``window``
+                only apply to the threaded backend.
+        """
+        resolved = backend if backend is not None else self.backend
+        if resolved == "sharded":
+            return self._sharded_engine().run_batch(
+                [_coerce(r) for r in requests], warm=warm
+            )
+        if resolved != "threaded":
+            raise ValueError(f"unknown backend {resolved!r}")
         stream = self.stream(
             requests, warm=warm, max_workers=max_workers, window=window
         )
         for _ in stream:
             pass
         return stream.report
+
+    def _sharded_engine(self):
+        """The lazily spawned sharded backend (see :mod:`repro.serving`)."""
+        with self._sharded_lock:
+            if self._sharded is None:
+                # Imported lazily: repro.serving pulls in multiprocessing
+                # machinery most clients never need.
+                from repro.serving import ShardedEngine
+
+                self._sharded = ShardedEngine(
+                    self.service,
+                    shards=self.shards,
+                    workers=self.shard_workers,
+                )
+            return self._sharded
 
     # -- explanation -------------------------------------------------------
 
@@ -235,11 +285,15 @@ class ReachabilityClient:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the submit pool down (idempotent)."""
+        """Shut the submit pool and any shard workers down (idempotent)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        with self._sharded_lock:
+            sharded, self._sharded = self._sharded, None
+        if sharded is not None:
+            sharded.close()
 
     def __enter__(self) -> "ReachabilityClient":
         return self

@@ -9,7 +9,7 @@ Subcommands::
     python -m repro mquery  --dataset DIR --location 0,0 --location 3000,2000 ...
     python -m repro rquery  --dataset DIR --x 0 --y 0 ...
     python -m repro batch   --dataset DIR --s-queries 20 --m-queries 5 \
-                            --r-queries 2 --workers 4
+                            --r-queries 2 --workers 4 [--shards K]
 
 ``build-dataset`` generates and persists a synthetic ShenzhenLike dataset;
 the query commands load it, build indexes, and answer through the
@@ -86,7 +86,9 @@ class CLIError(Exception):
     """User-facing CLI failure (bad paths, unreadable datasets)."""
 
 
-def _load_client(dataset_dir: str) -> tuple:
+def _load_client(
+    dataset_dir: str, shards: int = 0, workers: int | None = None
+) -> tuple:
     from repro.core.engine import ReachabilityEngine
     from repro.io.persist import load_dataset
 
@@ -99,6 +101,10 @@ def _load_client(dataset_dir: str) -> tuple:
             f"{dataset_dir}"
         ) from exc
     engine = ReachabilityEngine(dataset.network, dataset.database)
+    if shards > 0:
+        return dataset, ReachabilityClient(
+            engine, backend="sharded", shards=shards, shard_workers=workers
+        )
     return dataset, ReachabilityClient(engine)
 
 
@@ -167,7 +173,8 @@ def cmd_build_dataset(args) -> int:
 
 
 def cmd_describe(args) -> int:
-    dataset, _ = _load_client(args.dataset)
+    dataset, client = _load_client(args.dataset)
+    client.close()
     for key, value in dataset.describe():
         print(f"  {key}: {value}")
     return 0
@@ -184,13 +191,14 @@ def _run_query(args, direction: str, query) -> int:
             cost_budget_ms=args.budget,
         ),
     )
-    if args.explain:
-        # Pre-flight print: routing is stateless, so this decision and
-        # plan are exactly what send() will execute.
-        plan, decision = client.plan(request)
-        print(decision.describe())
-        print(plan.describe())
-    response = client.send(request)
+    with client:
+        if args.explain:
+            # Pre-flight print: routing is stateless, so this decision and
+            # plan are exactly what send() will execute.
+            plan, decision = client.plan(request)
+            print(decision.describe())
+            print(plan.describe())
+        response = client.send(request)
     return _print_response(args, dataset, response)
 
 
@@ -229,7 +237,9 @@ def cmd_batch(args) -> int:
     from repro.eval.tables import format_batch_report
     from repro.eval.workload import QueryWorkload
 
-    dataset, client = _load_client(args.dataset)
+    dataset, client = _load_client(
+        args.dataset, shards=args.shards, workers=args.workers
+    )
     # No algorithm name is registered for every kind, so a forced
     # --algorithm applies to the kinds that register it and the rest of
     # the mixed workload stays auto-routed.
@@ -285,14 +295,20 @@ def cmd_batch(args) -> int:
             salt="r",
         )
     )
-    stream = client.stream(requests, max_workers=args.workers)
     total = len(requests)
-    for done, response in enumerate(stream, start=1):
-        print(f"[{done:>3}/{total}] {response.describe()}")
-    print()
-    print(
-        format_batch_report(f"Batch report — {total} queries", stream.report)
-    )
+    with client:
+        if args.shards > 0:
+            # Sharded batches scatter whole sub-batches to worker
+            # processes, so there is no per-response progress stream;
+            # the report's per-shard rows show the breakdown instead.
+            report = client.run_batch(requests, backend="sharded")
+        else:
+            stream = client.stream(requests, max_workers=args.workers)
+            for done, response in enumerate(stream, start=1):
+                print(f"[{done:>3}/{total}] {response.describe()}")
+            print()
+            report = stream.report
+    print(format_batch_report(f"Batch report — {total} queries", report))
     return 0
 
 
@@ -366,7 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "register it; other requests stay auto-routed "
                             "(default: auto)")
     batch.add_argument("--workers", type=int, default=1,
-                       help="worker threads (default 1)")
+                       help="worker threads; with --shards, worker "
+                            "*processes* serving the shards (default 1)")
+    batch.add_argument("--shards", type=int, default=0,
+                       help="spatial shards served by worker processes "
+                            "(default 0 = single-process); the report "
+                            "gains one breakdown row per shard")
     batch.add_argument("--seed", type=int, default=7)
     batch.set_defaults(func=cmd_batch)
 

@@ -113,6 +113,19 @@ class ReachabilityEngine:
             self._st_indexes[delta_t_s] = index
         return index
 
+    def install_st_index(self, delta_t_s: int, index: STIndex) -> None:
+        """Install an externally constructed ST-Index at granularity Δt.
+
+        The restore path for shard workers (:mod:`repro.serving`): a
+        partition slice rebuilt via :meth:`~repro.core.st_index.STIndex.restore`
+        is dropped in here so :meth:`st_index` serves it instead of
+        building from trajectories.  The index must be backed by this
+        engine's disk, or the accounting windows would miss its I/O.
+        """
+        if index.disk is not self.disk:
+            raise ValueError("installed ST-Index must share the engine's disk")
+        self._st_indexes[delta_t_s] = index
+
     def con_index(self, delta_t_s: int) -> ConnectionIndex:
         """The Con-Index at granularity Δt, entries built lazily."""
         index = self._con_indexes.get(delta_t_s)

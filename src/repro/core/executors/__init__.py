@@ -271,10 +271,13 @@ def execute_plan(
         engine.con_index(plan.delta_t_s)
     if not plan.warm:
         engine.invalidate_caches()
-    before = engine.disk.snapshot()
+    # Per-thread snapshot window: under a threaded batch each worker sees
+    # only its own I/O, so per-query attribution is exact (and identical
+    # to the global window when execution is single-threaded).
+    before = engine.disk.local_snapshot()
     started = time.perf_counter()
     outcome = executor(ctx, plan, query)
-    diff = engine.disk.snapshot() - before
+    diff = engine.disk.local_snapshot() - before
     result = outcome.result
     result.cost = QueryCost(
         wall_time_s=time.perf_counter() - started,

@@ -16,8 +16,10 @@ multi-user workload shares:
 * **plan reuse** — identically-shaped queries share one frozen
   :class:`~repro.core.planner.QueryPlan`;
 * **worker pool** — independent queries can run on threads
-  (``max_workers > 1``); per-query I/O attribution is approximate under
-  concurrency, the batch totals stay exact.
+  (``max_workers > 1``); per-query I/O is attributed through per-thread
+  snapshot windows (:meth:`~repro.storage.disk.SimulatedDisk.local_snapshot`),
+  so per-query costs are exact and deterministic under concurrency and
+  the batch totals stay exact.
 
 The returned :class:`BatchReport` carries per-query results plus
 batch-level cost and cache-effectiveness metrics (buffer-pool hit/miss/
@@ -50,6 +52,30 @@ def kind_of(query: SQuery | MQuery) -> str:
 
 
 @dataclass
+class ShardReport:
+    """Per-shard accounting slice of a sharded batch (see
+    :mod:`repro.serving`).
+
+    Attributes:
+        shard_id: the shard's index in the partition plan.
+        queries: sub-requests this shard executed (decomposed cross-shard
+            queries count once per involved shard).
+        io: the shard worker's disk-stat difference for its sub-batch.
+        simulated_io_ms: accounted cost of the shard's page reads.
+        wall_time_s: wall time of the shard's sub-batch inside its worker.
+        worker_wall_s: wall time of everything the worker did for this
+            shard — service setup, the sub-batch, result packing.
+    """
+
+    shard_id: int
+    queries: int = 0
+    io: DiskStats = field(default_factory=DiskStats)
+    simulated_io_ms: float = 0.0
+    wall_time_s: float = 0.0
+    worker_wall_s: float = 0.0
+
+
+@dataclass
 class BatchReport:
     """Outcome of one :meth:`QueryService.run_batch` call.
 
@@ -65,6 +91,10 @@ class BatchReport:
         plans_reused: queries that shared an earlier query's plan.
         routes: the routing decision behind each plan, in submission
             order (``rule="forced"`` for explicitly-named algorithms).
+        shard_reports: per-shard accounting when the batch ran on the
+            sharded backend (empty for single-process batches); the
+            shard ``io`` snapshots plus any dispatcher-local fallback
+            I/O sum exactly to ``io``.
     """
 
     results: list[QueryResult] = field(default_factory=list)
@@ -76,6 +106,7 @@ class BatchReport:
     regions_computed: int = 0
     regions_reused: int = 0
     plans_reused: int = 0
+    shard_reports: list[ShardReport] = field(default_factory=list)
 
     @property
     def page_reads(self) -> int:
@@ -159,6 +190,14 @@ class BatchReport:
                 f"({self.pool_lock_shards} pool lock shards)",
             ),
             ("Plans reused", f"{self.plans_reused}"),
+        ] + [
+            (
+                f"Shard {shard.shard_id}",
+                f"{shard.queries} queries / {shard.io.page_reads:,} page "
+                f"reads / {shard.simulated_io_ms:.0f} ms simulated I/O "
+                f"({shard.wall_time_s * 1e3:.1f} ms wall)",
+            )
+            for shard in self.shard_reports
         ]
 
 
@@ -349,9 +388,9 @@ class QueryService:
             delta_t_s: index granularity for the whole batch.
             kind: force a planner kind (``"r"`` for reverse batches).
             warm: keep pre-batch buffer-pool contents too.
-            max_workers: thread count for concurrent execution; with more
-                than one worker the per-query I/O attribution is
-                approximate (counters are shared), batch totals are exact.
+            max_workers: thread count for concurrent execution; per-query
+                I/O attribution stays exact (each worker windows its own
+                thread-local counters) and batch totals are exact.
 
         Returns:
             The :class:`BatchReport`.

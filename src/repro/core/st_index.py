@@ -292,6 +292,27 @@ class STIndex:
         index.stats.disk_pages = disk.num_pages
         return index
 
+    def export_directory(
+        self, segment_ids: "set[int] | None" = None
+    ) -> dict[tuple[int, int], list[RecordPointer]]:
+        """Copy the time-list directory, optionally restricted to segments.
+
+        Flushes the store's tail first, so every returned pointer refers
+        to committed pages; the copy is :meth:`restore`-compatible.  This
+        is the shard-slice export (:mod:`repro.serving`): a shard keeps
+        the chains of its owned + halo segments, with the original extent
+        pointers intact.
+        """
+        self._store.flush()
+        if segment_ids is None:
+            return {key: list(chain) for key, chain in self._directory.items()}
+        keep = set(segment_ids)
+        return {
+            key: list(chain)
+            for key, chain in self._directory.items()
+            if key[0] in keep
+        }
+
     def build(self, database: TrajectoryDatabase) -> None:
         """Bulk-build the time lists from a matched-trajectory database.
 
@@ -461,16 +482,31 @@ class STIndex:
         """Map a query location ``s`` to its road segment ``r0`` (Fig. 3.4).
 
         Best-first R-tree nearest-neighbour with exact point-to-polyline
-        distances.
+        distances.  Exact ties (the twin of a two-way road shares its
+        polyline; a location on an intersection touches every incident
+        segment) resolve to the smallest segment id, so the answer is a
+        pure function of the geometry — independent of R-tree structure,
+        which is what keeps a shard's sub-network lookup (see
+        :mod:`repro.serving`) consistent with the full network's.
         """
-        matches = self._rtree.nearest(
-            location,
-            k=1,
-            distance=lambda p, sid: self.network.segment(sid).distance_to_point(p),
-        )
-        if not matches:
-            raise ValueError("empty spatial index")
-        return matches[0]
+
+        def exact(p: Point, sid: int) -> float:
+            return self.network.segment(sid).distance_to_point(p)
+
+        k = 2
+        while True:
+            matches = self._rtree.nearest(location, k=k, distance=exact)
+            if not matches:
+                raise ValueError("empty spatial index")
+            distances = [exact(location, sid) for sid in matches]
+            best = min(distances)
+            # All ties with `best` are inside this result set when either
+            # the tree is exhausted or the worst match is strictly farther.
+            if len(matches) < k or distances[-1] > best:
+                return min(
+                    sid for sid, d in zip(matches, distances) if d == best
+                )
+            k *= 2
 
     @property
     def rtree(self) -> RTree:

@@ -100,6 +100,7 @@ def run_workload_batch(
     delta_t_s: int = 300,
     max_workers: int = 1,
     repeats: int = 1,
+    backend: str | None = None,
 ) -> BatchReport:
     """Run a query workload as one streamed batch (throughput protocol).
 
@@ -116,7 +117,9 @@ def run_workload_batch(
 
     The workload may mix plain queries and :class:`repro.api.Request`
     envelopes (per-request direction/algorithm); ``algorithm`` overrides
-    the route for plain queries only.
+    the route for plain queries only.  ``backend`` selects the batch
+    execution backend per :meth:`repro.api.ReachabilityClient.run_batch`
+    (``"sharded"`` scatters across the client's shard workers).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -135,7 +138,9 @@ def run_workload_batch(
     ]
     report = None
     for _ in range(repeats):
-        report = client.run_batch(requests, max_workers=max_workers)
+        report = client.run_batch(
+            requests, max_workers=max_workers, backend=backend
+        )
     return report
 
 

@@ -1,0 +1,39 @@
+"""Sharded multi-process serving: partition, scatter, gather.
+
+The single-process pipeline (client → router → planner → executor →
+storage) is GIL-bound: ``run_batch`` time-shares one interpreter however
+many threads it runs.  This package partitions the road network into K
+spatial shards, materializes each shard's ST-Index/Con-Index slice on its
+own :class:`~repro.storage.disk.SimulatedDisk`, and serves the shards
+from ``multiprocessing`` worker processes behind a scatter-gather
+dispatcher:
+
+* :mod:`repro.serving.partition` — kd-median spatial partitioner, halo
+  replication sized to the query contract, and the spawn-safe per-shard
+  slice payloads;
+* :mod:`repro.serving.worker` — the worker-process entry point: rebuild
+  a shard engine from its payload, serve sub-batches over a pipe;
+* :mod:`repro.serving.protocol` — the pickle-framed messages and the
+  numpy-packed result encoding that keeps IPC cheap;
+* :mod:`repro.serving.dispatcher` — :class:`ShardedEngine`: routes each
+  request to its owning shard (single-shard fast path), decomposes
+  cross-shard m-queries, merges results, and aggregates per-shard
+  :class:`~repro.storage.disk.DiskStats` exactly.
+
+Accounting guarantee: a shard worker runs its sub-batch serially on a
+slice whose page geometry is identical to the full index, so its
+:class:`~repro.core.service.ShardReport` I/O equals a fresh
+single-process engine running the same sub-requests — proven by
+``tests/test_serving.py``'s equivalence oracle.
+"""
+
+from repro.serving.dispatcher import DispatchPlan, ShardedEngine
+from repro.serving.partition import PartitionPlan, ShardSpec, partition_network
+
+__all__ = [
+    "DispatchPlan",
+    "PartitionPlan",
+    "ShardSpec",
+    "ShardedEngine",
+    "partition_network",
+]

@@ -1,0 +1,494 @@
+"""Scatter-gather dispatch over shard worker processes.
+
+:class:`ShardedEngine` is the multi-process counterpart of
+:meth:`repro.api.ReachabilityClient.run_batch`: it partitions the road
+network once (construction), spawns worker processes hosting the shard
+slices, and answers each batch by scattering sub-requests to the owning
+shards, running any out-of-contract requests locally, and gathering and
+merging the replies into one classic
+:class:`~repro.core.service.BatchReport`.
+
+Routing: a request belongs to the shard that **owns its start segment**
+(resolved through the parent's in-memory ST-Index R-tree — no I/O).  A
+cross-shard m-query decomposes into per-shard m-query parts whose union
+is, by the union semantics of multi-seed reachability, the same segment
+set the single-process engine computes.  A request whose travel bound
+exceeds the halo contract (duration too long, or a foreign Δt) falls
+back to the dispatcher's own single-process service.
+
+Accounting: every shard worker reports its sub-batch's exact
+:class:`~repro.storage.disk.DiskStats` window; ``report.io`` is the sum
+of those windows plus the dispatcher-local fallback window, so the
+sharded report aggregates **exactly** — per-shard snapshots add up to
+what a single-process engine would have charged for the same
+sub-batches.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+
+from repro.api.envelope import Request
+from repro.api.router import Router
+from repro.core.engine import ReachabilityEngine
+from repro.core.planner import QueryPlan, plan_query
+from repro.core.query import BoundingRegion, MQuery, QueryCost, QueryResult
+from repro.core.service import (
+    BatchReport,
+    QueryService,
+    ShardReport,
+    as_service,
+)
+from repro.serving.partition import (
+    PartitionPlan,
+    SegmentLocator,
+    export_shard_payload,
+    max_segment_length_m,
+    partition_network,
+    reach_m,
+)
+from repro.serving.protocol import MSG_ERROR, MSG_RUN, MSG_SHUTDOWN, unpack_result
+from repro.serving.worker import shard_worker_main
+from repro.storage.disk import DiskStats
+
+#: Default longest query duration the halo contract covers (one hour —
+#: generous against the paper's 5..30-minute workloads).
+DEFAULT_MAX_DURATION_S = 3600.0
+
+
+@dataclass
+class DispatchPlan:
+    """How one batch splits across shards.
+
+    Attributes:
+        per_shard: ``shard_id -> [(seq, part_idx, Request), ...]`` — the
+            sub-requests each shard executes, in submission order.
+        fallback: ``[(seq, Request), ...]`` answered dispatcher-locally
+            (out-of-contract duration or foreign Δt).
+        decomposed: ``seq -> Request`` for cross-shard m-queries whose
+            per-shard parts need merging.
+        decomposed_starts: ``seq -> start segment ids`` for decomposed
+            m-queries, one per location in query order (the routing
+            pass already resolved them; the merge reuses them instead
+            of re-querying the R-tree).
+    """
+
+    per_shard: dict[int, list[tuple[int, int, Request]]] = field(
+        default_factory=dict
+    )
+    fallback: list[tuple[int, Request]] = field(default_factory=list)
+    decomposed: dict[int, Request] = field(default_factory=dict)
+    decomposed_starts: dict[int, tuple[int, ...]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def num_sub_requests(self) -> int:
+        return sum(len(entries) for entries in self.per_shard.values())
+
+
+def _merge_regions(regions: list) -> BoundingRegion | None:
+    if any(region is None for region in regions):
+        return None
+    merged = BoundingRegion()
+    for region in regions:
+        merged.cover |= region.cover
+        merged.boundary |= region.boundary
+        for segment_id, seed in region.seed_of.items():
+            merged.seed_of.setdefault(segment_id, seed)
+    return merged
+
+
+def _merge_costs(costs: list[QueryCost]) -> QueryCost:
+    merged = QueryCost()
+    for cost in costs:
+        merged.wall_time_s += cost.wall_time_s
+        merged.io = merged.io + cost.io
+        merged.simulated_io_ms += cost.simulated_io_ms
+        merged.probability_checks += cost.probability_checks
+        merged.segments_expanded += cost.segments_expanded
+        merged.kernel_probability_evals += cost.kernel_probability_evals
+        merged.scalar_probability_evals += cost.scalar_probability_evals
+        merged.probability_waves += cost.probability_waves
+        merged.max_wave_size = max(merged.max_wave_size, cost.max_wave_size)
+        merged.batched_record_reads += cost.batched_record_reads
+        merged.prefetched_pages += cost.prefetched_pages
+        merged.pool_lock_shards = max(
+            merged.pool_lock_shards, cost.pool_lock_shards
+        )
+    return merged
+
+
+class ShardedEngine:
+    """Spatially sharded, multi-process batch execution engine.
+
+    Args:
+        target: the single-process service or engine to shard.  Build it
+            **fresh** (indexes built, no queries run) so the shard
+            slices' disk geometry matches a from-scratch engine.
+        shards: spatial partition arity K.
+        workers: worker-process count (default: one per shard); worker
+            ``i`` hosts shards ``i, i+workers, ...``.
+        delta_t_s: index granularity the shards serve (default: the
+            service's).  Requests at any other Δt fall back.
+        max_duration_s: longest query duration the halo contract covers;
+            longer requests fall back to the local service.
+    """
+
+    def __init__(
+        self,
+        target: QueryService | ReachabilityEngine,
+        shards: int = 4,
+        workers: int | None = None,
+        delta_t_s: int | None = None,
+        max_duration_s: float = DEFAULT_MAX_DURATION_S,
+    ) -> None:
+        self.service = as_service(target)
+        self.engine = self.service.engine
+        self.delta_t_s = (
+            delta_t_s if delta_t_s is not None else self.service.delta_t_s
+        )
+        self.router = Router()
+        self.max_duration_s = max_duration_s
+        self._st_index = self.engine.st_index(self.delta_t_s)
+        self._v_max = self.engine.database.max_observed_speed_mps()
+        self._max_segment_m = max_segment_length_m(self.engine.network)
+        self.halo_m = reach_m(
+            max_duration_s, self.delta_t_s, self._v_max, self._max_segment_m
+        )
+        self.plan: PartitionPlan = partition_network(
+            self.engine.network,
+            shards,
+            self.halo_m,
+            max_duration_s=max_duration_s,
+            v_max_mps=self._v_max,
+            weights=self._load_weights(),
+        )
+        self._locator = SegmentLocator(self.engine.network)
+        payloads = [
+            export_shard_payload(self.engine, spec, self.delta_t_s)
+            for spec in self.plan.shards
+        ]
+        self.num_workers = min(
+            workers if workers is not None else self.plan.num_shards,
+            self.plan.num_shards,
+        )
+        if self.num_workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        ctx = multiprocessing.get_context("spawn")
+        self._processes: list = []
+        self._conns: list = []
+        self._conn_of_shard: dict[int, object] = {}
+        self._closed = False
+        for worker_idx in range(self.num_workers):
+            hosted = payloads[worker_idx :: self.num_workers]
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=shard_worker_main,
+                args=(child_conn, hosted),
+                daemon=True,
+                name=f"reach-shard-worker-{worker_idx}",
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._conns.append(parent_conn)
+            for payload in hosted:
+                self._conn_of_shard[payload.shard_id] = parent_conn
+
+    def _load_weights(self):
+        """Per-CSR-row trajectory-visit volume, the partition's load proxy.
+
+        Query traffic follows data density (queries in the empty
+        periphery answer trivially), so balancing shard boundaries by
+        time-list bytes instead of segment counts evens out the *work*
+        each worker receives.  The +1 floor keeps zero-data rows
+        weighted, so the periphery still spreads across shards.
+        """
+        import numpy as np
+
+        csr = self.engine.network.csr()
+        volume = np.ones(csr.n)
+        row_of = {int(sid): row for row, sid in enumerate(csr.ids)}
+        for (segment_id, _slot), chain in (
+            self._st_index.export_directory().items()
+        ):
+            row = row_of.get(segment_id)
+            if row is not None:
+                volume[row] += sum(pointer.length for pointer in chain)
+        return volume
+
+    # -- routing -----------------------------------------------------------
+
+    def _resolve_delta_t(self, request: Request) -> int:
+        options_dt = request.options.delta_t_s
+        return options_dt if options_dt is not None else self.service.delta_t_s
+
+    def _in_contract(self, request: Request) -> bool:
+        if self._resolve_delta_t(request) != self.delta_t_s:
+            return False
+        bound = reach_m(
+            request.query.duration_s,
+            self.delta_t_s,
+            self._v_max,
+            self._max_segment_m,
+        )
+        return bound <= self.halo_m
+
+    def plan_dispatch(self, requests: list[Request]) -> DispatchPlan:
+        """Split a batch into per-shard sub-requests plus fallbacks."""
+        dispatch = DispatchPlan(
+            per_shard={spec.shard_id: [] for spec in self.plan.shards}
+        )
+        # One vectorized in-memory pass resolves every location's start
+        # segment (no I/O, so nothing is double-charged); the worker
+        # re-resolves the same deterministic segment when it executes.
+        spans: list[tuple[int, int] | None] = []
+        locations: list = []
+        for request in requests:
+            if not self._in_contract(request):
+                spans.append(None)
+                continue
+            query = request.query
+            locs = (
+                query.locations
+                if isinstance(query, MQuery)
+                else (query.location,)
+            )
+            spans.append((len(locations), len(locs)))
+            locations.extend(locs)
+        starts = self._locator.locate(locations) if locations else []
+        owner_flat = [self.plan.owner_of[int(sid)] for sid in starts]
+        for seq, (request, span) in enumerate(zip(requests, spans)):
+            if span is None:
+                dispatch.fallback.append((seq, request))
+                continue
+            first, count = span
+            owners = owner_flat[first : first + count]
+            query = request.query
+            if isinstance(query, MQuery):
+                if len(set(owners)) > 1:
+                    dispatch.decomposed[seq] = request
+                    dispatch.decomposed_starts[seq] = tuple(
+                        int(sid) for sid in starts[first : first + count]
+                    )
+                    groups: dict[int, list] = {}
+                    for owner, location in zip(owners, query.locations):
+                        groups.setdefault(owner, []).append(location)
+                    for part_idx, (owner, locations) in enumerate(
+                        groups.items()
+                    ):
+                        part = MQuery(
+                            locations=tuple(locations),
+                            start_time_s=query.start_time_s,
+                            duration_s=query.duration_s,
+                            prob=query.prob,
+                        )
+                        dispatch.per_shard[owner].append(
+                            (seq, part_idx, Request(part, request.options))
+                        )
+                    continue
+            owner = owners[0]
+            dispatch.per_shard[owner].append((seq, 0, request))
+        return dispatch
+
+    # -- execution ---------------------------------------------------------
+
+    def run_batch(
+        self, requests, warm: bool = False
+    ) -> BatchReport:
+        """Scatter a batch across the shard workers and merge the replies.
+
+        Args:
+            requests: :class:`Request` envelopes or bare queries.
+            warm: keep the workers' (and the fallback service's) buffer
+                pools from previous batches.
+
+        Returns:
+            A :class:`BatchReport` whose ``results``/``plans``/``routes``
+            are in submission order and whose ``io`` equals the sum of
+            the per-shard windows (``shard_reports``) plus any
+            dispatcher-local fallback window.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedEngine is closed")
+        requests = [
+            r if isinstance(r, Request) else Request(query=r) for r in requests
+        ]
+        report = BatchReport()
+        if not requests:
+            return report
+        started = time.perf_counter()
+        dispatch = self.plan_dispatch(requests)
+
+        # Scatter: one message per worker carrying all its shards' parts.
+        by_conn: dict = {}
+        for shard_id, entries in dispatch.per_shard.items():
+            if entries:
+                conn = self._conn_of_shard[shard_id]
+                by_conn.setdefault(id(conn), (conn, {}))[1][shard_id] = entries
+        for conn, shard_map in by_conn.values():
+            conn.send((MSG_RUN, {"warm": warm, "shards": shard_map}))
+
+        # Plans and routing decisions are dispatcher-side bookkeeping
+        # (identical to what BatchStream records), deduplicated per
+        # shape and done after the scatter so the workers crunch while
+        # the parent annotates.
+        plan_cache: dict[QueryPlan, QueryPlan] = {}
+        for request in requests:
+            dt = self._resolve_delta_t(request)
+            decision = self.router.route(request, dt)
+            plan = plan_query(
+                decision.kind, request.query, decision.algorithm, dt, warm=True
+            )
+            cached = plan_cache.get(plan)
+            if cached is not None:
+                report.plans_reused += 1
+                plan = cached
+            else:
+                plan_cache[plan] = plan
+            report.plans.append(plan)
+            report.routes.append(decision)
+
+        # Fallbacks run locally while the workers crunch.
+        fallback_report = None
+        if dispatch.fallback:
+            from repro.api.client import ReachabilityClient
+
+            with ReachabilityClient(self.service) as client:
+                fallback_report = client.run_batch(
+                    [request for _, request in dispatch.fallback],
+                    warm=warm,
+                    max_workers=1,
+                )
+
+        # Gather.
+        replies: dict[int, dict] = {}
+        waiting = {key: conn for key, (conn, _) in by_conn.items()}
+        while waiting:
+            ready = mp_connection.wait(list(waiting.values()))
+            for conn in ready:
+                try:
+                    kind, body = conn.recv()
+                except EOFError:
+                    raise RuntimeError(
+                        "shard worker exited before replying"
+                    ) from None
+                if kind == MSG_ERROR:
+                    raise RuntimeError(f"shard worker failed:\n{body}")
+                replies.update(body)
+                waiting.pop(id(conn))
+
+        # Merge.
+        parts: dict[int, list[tuple[int, QueryResult]]] = {}
+        for body in replies.values():
+            for seq, part_idx, packed in body["results"]:
+                parts.setdefault(seq, []).append(
+                    (part_idx, unpack_result(packed))
+                )
+        results_by_seq: dict[int, QueryResult] = {}
+        if fallback_report is not None:
+            for (seq, _), result in zip(
+                dispatch.fallback, fallback_report.results
+            ):
+                results_by_seq[seq] = result
+        for seq, pieces in parts.items():
+            pieces.sort(key=lambda item: item[0])
+            results = [result for _, result in pieces]
+            if seq in dispatch.decomposed:
+                results_by_seq[seq] = self._merge_decomposed(
+                    dispatch.decomposed_starts[seq], results
+                )
+            else:
+                results_by_seq[seq] = results[0]
+
+        report.results = [results_by_seq[seq] for seq in range(len(requests))]
+        total_io = DiskStats()
+        for shard_id in sorted(replies):
+            body = replies[shard_id]
+            total_io = total_io + body["io"]
+            report.simulated_io_ms += body["simulated_io_ms"]
+            report.regions_computed += body["regions_computed"]
+            report.regions_reused += body["regions_reused"]
+            report.shard_reports.append(
+                ShardReport(
+                    shard_id=shard_id,
+                    queries=len(body["results"]),
+                    io=body["io"],
+                    simulated_io_ms=body["simulated_io_ms"],
+                    wall_time_s=body["wall_time_s"],
+                    worker_wall_s=body.get("worker_wall_s", 0.0),
+                )
+            )
+        if fallback_report is not None:
+            total_io = total_io + fallback_report.io
+            report.simulated_io_ms += fallback_report.simulated_io_ms
+            report.regions_computed += fallback_report.regions_computed
+            report.regions_reused += fallback_report.regions_reused
+        report.io = total_io
+        report.wall_time_s = time.perf_counter() - started
+        return report
+
+    def _merge_decomposed(
+        self, starts: tuple[int, ...], results: list[QueryResult]
+    ) -> QueryResult:
+        """Union the per-shard parts of a decomposed m-query.
+
+        Segments union exactly (multi-seed reachability is a union over
+        seeds).  Probabilities max-merge: TBS only *computes* shell
+        probabilities, so a segment examined by two parts keeps the
+        larger (more-informed) value.  ``start_segments`` dedups the
+        routing pass's per-location start segments in query-location
+        order, so ordering matches the single-process result (the
+        locator resolves the same segment the scalar R-tree path does —
+        asserted in ``tests/test_serving.py``).
+        """
+        merged = QueryResult()
+        for result in results:
+            merged.segments |= result.segments
+            for segment_id, prob in result.probabilities.items():
+                if prob > merged.probabilities.get(segment_id, -1.0):
+                    merged.probabilities[segment_id] = prob
+        merged.start_segments = tuple(dict.fromkeys(starts))
+        merged.max_region = _merge_regions([r.max_region for r in results])
+        merged.min_region = _merge_regions([r.min_region for r in results])
+        merged.cost = _merge_costs([r.cost for r in results])
+        return merged
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send((MSG_SHUTDOWN,))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

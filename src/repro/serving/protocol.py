@@ -1,0 +1,102 @@
+"""Pipe protocol between the dispatcher and shard workers.
+
+Messages are plain tuples sent over ``multiprocessing.Connection``
+(pickle-framed).  The dispatcher speaks first; a worker only ever
+replies.
+
+Dispatcher -> worker::
+
+    ("run", {"warm": bool,
+             "shards": {shard_id: [(seq, part_idx, Request), ...]}})
+    ("shutdown",)
+
+Worker -> dispatcher::
+
+    ("ok", {shard_id: {"results": [(seq, part_idx, packed_result), ...],
+                       "io": DiskStats,
+                       "simulated_io_ms": float,
+                       "wall_time_s": float,
+                       "regions_computed": int,
+                       "regions_reused": int}})
+    ("error", traceback_string)
+
+``seq`` is the request's position in the dispatcher's batch; ``part_idx``
+distinguishes the per-shard parts of a decomposed cross-shard m-query
+(``0`` for whole requests).
+
+Query results dominate reply size, so :func:`pack_result` flattens the
+big set/dict fields into numpy arrays — pickle ships those as one buffer
+each instead of per-element objects — and :func:`unpack_result` restores
+an equal :class:`~repro.core.query.QueryResult` on the parent side.
+``QueryCost``/``DiskStats`` are small flat dataclasses and travel as-is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.query import BoundingRegion, QueryResult
+
+MSG_RUN = "run"
+MSG_SHUTDOWN = "shutdown"
+MSG_OK = "ok"
+MSG_ERROR = "error"
+
+
+def _pack_ids(ids) -> np.ndarray:
+    return np.fromiter(ids, dtype=np.int64, count=len(ids))
+
+
+def _pack_region(region: BoundingRegion | None):
+    if region is None:
+        return None
+    seed_items = region.seed_of.items()
+    return (
+        _pack_ids(region.cover),
+        _pack_ids(region.boundary),
+        np.array([[k, v] for k, v in seed_items], dtype=np.int64).reshape(-1, 2),
+    )
+
+
+def _unpack_region(packed) -> BoundingRegion | None:
+    if packed is None:
+        return None
+    cover, boundary, seeds = packed
+    return BoundingRegion(
+        cover=set(cover.tolist()),
+        boundary=set(boundary.tolist()),
+        seed_of={int(k): int(v) for k, v in seeds},
+    )
+
+
+def pack_result(result: QueryResult) -> tuple:
+    """Flatten a :class:`QueryResult` for cheap cross-process pickling."""
+    prob_ids = _pack_ids(result.probabilities.keys())
+    prob_values = np.fromiter(
+        result.probabilities.values(), dtype=np.float64,
+        count=len(result.probabilities),
+    )
+    return (
+        _pack_ids(result.segments),
+        prob_ids,
+        prob_values,
+        result.start_segments,
+        _pack_region(result.max_region),
+        _pack_region(result.min_region),
+        result.cost,
+    )
+
+
+def unpack_result(packed: tuple) -> QueryResult:
+    """Inverse of :func:`pack_result`."""
+    segments, prob_ids, prob_values, starts, max_region, min_region, cost = packed
+    return QueryResult(
+        segments=set(segments.tolist()),
+        probabilities=dict(
+            zip((int(i) for i in prob_ids), (float(v) for v in prob_values))
+        ),
+        start_segments=tuple(starts),
+        max_region=_unpack_region(max_region),
+        min_region=_unpack_region(min_region),
+        cost=cost,
+    )

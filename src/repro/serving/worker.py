@@ -1,0 +1,132 @@
+"""Shard worker process: rebuild a slice, serve sub-batches over a pipe.
+
+One worker process hosts one or more shard engines (the dispatcher deals
+shards round-robin across workers).  Each engine is rebuilt from its
+:class:`~repro.serving.partition.ShardPayload`: the sub-network, the
+statistics-only trajectory database, a sparse disk with the original
+page geometry, and the restored ST-Index directory slice.  The Con-Index
+is *not* shipped — it derives entirely from the speed model plus the
+sub-network topology, so the worker builds it lazily exactly as a
+single-process engine would, and its disk appends land at the same page
+ids (the sparse disk preserved the parent's append tail).
+
+A ``("run", ...)`` message carries each hosted shard's sub-batch; the
+worker answers it with a fresh :class:`~repro.core.service.QueryService`
+per message and a **serial** ``run_batch`` — determinism and exact
+accounting beat intra-shard thread parallelism, which the process fan-out
+already provides.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.core.engine import ReachabilityEngine
+from repro.core.st_index import STIndex
+from repro.io.persist import network_from_dict
+from repro.serving.partition import ShardPayload
+from repro.serving.protocol import (
+    MSG_ERROR,
+    MSG_OK,
+    MSG_RUN,
+    MSG_SHUTDOWN,
+    pack_result,
+)
+from repro.storage.disk import SimulatedDisk
+from repro.trajectory.store import TrajectoryDatabase
+
+
+def build_shard_engine(payload: ShardPayload) -> ReachabilityEngine:
+    """Reconstruct one shard's engine from its spawn-safe payload."""
+    network = network_from_dict(payload.network)
+    database = TrajectoryDatabase.from_speed_model(payload.speed_model)
+    disk = SimulatedDisk.from_state(
+        payload.disk_buffer,
+        payload.disk_used,
+        payload.page_size,
+        read_latency_ms=payload.read_latency_ms,
+        write_latency_ms=payload.write_latency_ms,
+    )
+    engine = ReachabilityEngine(
+        network,
+        database,
+        disk=disk,
+        buffer_pool_pages=payload.engine_pool_pages,
+    )
+    st_index = STIndex.restore(
+        network,
+        payload.delta_t_s,
+        disk,
+        payload.directory,
+        buffer_pool_pages=payload.st_pool_pages,
+        record_cache_size=payload.record_cache_size,
+    )
+    engine.install_st_index(payload.delta_t_s, st_index)
+    return engine
+
+
+def _serve_run(engines: dict, delta_t_s: int, body: dict) -> dict:
+    from time import perf_counter
+
+    from repro.api.client import ReachabilityClient
+    from repro.core.service import QueryService
+
+    warm = body["warm"]
+    reply = {}
+    for shard_id, entries in body["shards"].items():
+        handling_started = perf_counter()
+        engine = engines[shard_id]
+        # A fresh service per message keeps the region cache batch-scoped,
+        # matching the single-process oracle (one fresh service per batch);
+        # the engine-level buffer pools persist and `warm` governs them.
+        with ReachabilityClient(QueryService(engine, delta_t_s=delta_t_s)) as client:
+            requests = [request for _, _, request in entries]
+            report = client.run_batch(requests, warm=warm, max_workers=1)
+        results = [
+            (seq, part_idx, pack_result(result))
+            for (seq, part_idx, _), result in zip(entries, report.results)
+        ]
+        reply[shard_id] = {
+            "results": results,
+            "io": report.io,
+            "simulated_io_ms": report.simulated_io_ms,
+            "wall_time_s": report.wall_time_s,
+            # Everything this shard did in the worker — service setup,
+            # compute, result packing — i.e. the time the shard would
+            # occupy a dedicated core for, excluding only the shared
+            # message-level pipe codec.
+            "worker_wall_s": perf_counter() - handling_started,
+            "regions_computed": report.regions_computed,
+            "regions_reused": report.regions_reused,
+        }
+    return reply
+
+
+def shard_worker_main(conn, payloads: list) -> None:
+    """Worker-process entry point (spawn target).
+
+    Args:
+        conn: the worker's end of the dispatcher pipe.
+        payloads: the :class:`ShardPayload` slices this worker hosts.
+    """
+    try:
+        engines = {p.shard_id: build_shard_engine(p) for p in payloads}
+        delta_t_s = payloads[0].delta_t_s if payloads else 300
+    except Exception:  # pragma: no cover - construction failures
+        conn.send((MSG_ERROR, traceback.format_exc()))
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == MSG_SHUTDOWN:
+            break
+        if kind != MSG_RUN:  # pragma: no cover - protocol misuse
+            conn.send((MSG_ERROR, f"unknown message kind {kind!r}"))
+            continue
+        try:
+            conn.send((MSG_OK, _serve_run(engines, delta_t_s, message[1])))
+        except Exception:
+            conn.send((MSG_ERROR, traceback.format_exc()))

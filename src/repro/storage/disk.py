@@ -14,7 +14,10 @@ so a page is an offset range and a record stored on an *extent* — a
 contiguous run of pages handed out by :meth:`SimulatedDisk.allocate` — can
 be served as a single buffer slice instead of a per-page join loop.  All
 counter updates run under one internal lock, so threaded batch workers
-produce exact totals.
+produce exact totals; every update is additionally mirrored onto the
+calling thread's private counters (:meth:`SimulatedDisk.local_snapshot`),
+so a worker thread can window exactly its own query's I/O while the batch
+runs concurrently.
 """
 
 from __future__ import annotations
@@ -95,6 +98,17 @@ class DiskStats:
             pool_evictions=self.pool_evictions - other.pool_evictions,
         )
 
+    def __add__(self, other: "DiskStats") -> "DiskStats":
+        return DiskStats(
+            page_reads=self.page_reads + other.page_reads,
+            page_writes=self.page_writes + other.page_writes,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            pool_hits=self.pool_hits + other.pool_hits,
+            pool_misses=self.pool_misses + other.pool_misses,
+            pool_evictions=self.pool_evictions + other.pool_evictions,
+        )
+
 
 class SimulatedDisk:
     """An in-memory disk that charges for page-granular I/O.
@@ -133,6 +147,12 @@ class SimulatedDisk:
         # after it is released), so the lock order is always
         # shard -> disk and cannot deadlock.
         self._lock = threading.Lock()
+        # Per-thread counter mirrors: every update below also lands on the
+        # calling thread's private DiskStats, so :meth:`local_snapshot`
+        # can open an accounting window that sees only the current
+        # thread's I/O — the per-query attribution batch worker threads
+        # need.  Thread-local, so no lock is required.
+        self._tlocal = threading.local()
 
     # -- allocation ----------------------------------------------------
 
@@ -177,10 +197,13 @@ class SimulatedDisk:
 
     def read_page(self, page_id: int) -> bytes:
         """Read one page, charging a read to the stats."""
+        local = self._local_stats()
         with self._lock:
             used = self._used_checked(page_id)
             self.stats.page_reads += 1
             self.stats.bytes_read += used
+            local.page_reads += 1
+            local.bytes_read += used
             start = page_id * self.page_size
             return bytes(self._buf[start : start + used])
 
@@ -192,12 +215,15 @@ class SimulatedDisk:
         The batched record-gather path uses this when the payload bytes
         are served as a single extent slice rather than per-page chunks.
         """
+        local = self._local_stats()
         with self._lock:
             total_bytes = 0
             for page_id in page_ids:
                 total_bytes += self._used_checked(page_id)
             self.stats.page_reads += len(page_ids)
             self.stats.bytes_read += total_bytes
+            local.page_reads += len(page_ids)
+            local.bytes_read += total_bytes
 
     def write_page(self, page_id: int, payload: bytes) -> None:
         """Write one page, charging a write to the stats.
@@ -210,6 +236,7 @@ class SimulatedDisk:
             raise DiskError(
                 f"payload of {len(payload)} bytes exceeds page size {self.page_size}"
             )
+        local = self._local_stats()
         with self._lock:
             self._used_checked(page_id)
             start = page_id * self.page_size
@@ -217,6 +244,8 @@ class SimulatedDisk:
             self._used[page_id] = len(payload)
             self.stats.page_writes += 1
             self.stats.bytes_written += len(payload)
+            local.page_writes += 1
+            local.bytes_written += len(payload)
             pools = [ref() for ref in self._pools]
         # Invalidate outside the lock: pools take their own shard locks
         # and may call back into the disk on their next miss.
@@ -297,6 +326,31 @@ class SimulatedDisk:
             stats.pool_evictions += pool.evictions
         return stats
 
+    def local_snapshot(self) -> DiskStats:
+        """The calling thread's own counters, for per-query windows.
+
+        Same shape as :meth:`snapshot` — disk counters plus live pools'
+        hit/miss/eviction counters — but restricted to I/O the *current
+        thread* performed.  Differencing two local snapshots around a
+        query attributes exactly that query's page accesses to it even
+        while other batch worker threads are reading concurrently;
+        single-threaded the difference is identical to a global-snapshot
+        difference.  Summing per-thread windows that cover all activity
+        reproduces the global totals (a single-flight page fetch is
+        charged to the thread that performed it; waiters record hits).
+        """
+        stats = self._local_stats().copy()
+        with self._lock:
+            pools = [ref() for ref in self._pools]
+        for pool in pools:
+            if pool is None:
+                continue
+            hits, misses, evictions = pool.local_counters()
+            stats.pool_hits += hits
+            stats.pool_misses += misses
+            stats.pool_evictions += evictions
+        return stats
+
     def reset_stats(self) -> None:
         with self._lock:
             self.stats = DiskStats()
@@ -307,6 +361,33 @@ class SimulatedDisk:
         """The backing buffer and per-page payload lengths, for persisting."""
         with self._lock:
             return bytes(self._buf), tuple(self._used)
+
+    def export_sparse_state(
+        self, page_ids: Iterable[int]
+    ) -> tuple[bytes, tuple[int, ...]]:
+        """Export only ``page_ids``; every other page comes back zeroed.
+
+        The result is :meth:`from_state`-compatible and preserves the
+        full disk's page geometry — page ids, extent offsets and payload
+        lengths of the selected pages are unchanged — so record pointers
+        into the original disk stay valid on the restored copy.  This is
+        the shard-slice export: a partition that owns a subset of the
+        index directory carries exactly the pages its pointers reference
+        and none of the others' payload bytes.
+        """
+        wanted = sorted(set(page_ids))
+        with self._lock:
+            num_pages = len(self._used)
+            buf = bytearray(num_pages * self.page_size)
+            used = [0] * num_pages
+            for page_id in wanted:
+                self._used_checked(page_id)
+                start = page_id * self.page_size
+                buf[start : start + self.page_size] = self._buf[
+                    start : start + self.page_size
+                ]
+                used[page_id] = self._used[page_id]
+            return bytes(buf), tuple(used)
 
     @classmethod
     def from_state(
@@ -336,6 +417,12 @@ class SimulatedDisk:
         return disk
 
     # -- internal --------------------------------------------------------
+
+    def _local_stats(self) -> DiskStats:
+        stats = getattr(self._tlocal, "stats", None)
+        if stats is None:
+            stats = self._tlocal.stats = DiskStats()
+        return stats
 
     def _used_checked(self, page_id: int) -> int:
         if not 0 <= page_id < len(self._used):

@@ -335,7 +335,22 @@ class BufferPool:
         self._shards = [
             _PoolShard(base + (1 if i < remainder else 0)) for i in range(count)
         ]
+        # Per-thread mirrors of the hit/miss/eviction counters, updated
+        # alongside the shard counters: the disk's local_snapshot sums
+        # them so per-query accounting windows stay exact under threads.
+        self._tlocal = threading.local()
         disk.attach_pool(self)
+
+    def _local(self) -> list:
+        counters = getattr(self._tlocal, "counters", None)
+        if counters is None:
+            counters = self._tlocal.counters = [0, 0, 0]
+        return counters
+
+    def local_counters(self) -> tuple[int, int, int]:
+        """The calling thread's (hits, misses, evictions) contributions."""
+        counters = self._local()
+        return counters[0], counters[1], counters[2]
 
     @property
     def num_shards(self) -> int:
@@ -356,10 +371,12 @@ class BufferPool:
 
     def get_page(self, page_id: int) -> bytes:
         """Return a page, reading from disk only on a cache miss."""
+        local = self._local()
         if self.capacity == 0:
             shard = self._shards[0]
             with shard.lock:
                 shard.misses += 1
+            local[1] += 1
             return self._disk.read_page(page_id)
         shard = self._shards[page_id % len(self._shards)]
         with shard.lock:
@@ -367,16 +384,19 @@ class BufferPool:
             cached = pages.get(page_id)
             if cached is not None:
                 shard.hits += 1
+                local[0] += 1
                 pages.move_to_end(page_id)
                 return cached
             # Single flight: fetch under the shard lock, so a concurrent
             # request for the same page waits here and then hits.
             shard.misses += 1
+            local[1] += 1
             payload = self._disk.read_page(page_id)
             pages[page_id] = payload
             if len(pages) > shard.quota:
                 pages.popitem(last=False)
                 shard.evictions += 1
+                local[2] += 1
             return payload
 
     def get_pages(self, page_ids: Iterable[int]) -> None:
@@ -390,11 +410,13 @@ class BufferPool:
         any counter.  Returns nothing: batch callers take record payloads
         as extent slices, the pool only accounts and keeps pages warm.
         """
+        local = self._local()
         if self.capacity == 0:
             ids = list(page_ids)
             shard = self._shards[0]
             with shard.lock:
                 shard.misses += len(ids)
+            local[1] += len(ids)
             self._disk.charge_reads(ids)
             return
         if isinstance(page_ids, (list, tuple)) and len(page_ids) == 1:
@@ -422,11 +444,14 @@ class BufferPool:
                         move_to_end(page_id)
                         continue
                     shard.misses += 1
+                    local[1] += 1
                     pages[page_id] = read_page(page_id)
                     if len(pages) > quota:
                         pages.popitem(last=False)
                         shard.evictions += 1
+                        local[2] += 1
                 shard.hits += hits
+                local[0] += hits
 
     def invalidate(self, page_id: int | None = None) -> None:
         """Drop one page (or everything) from the cache."""

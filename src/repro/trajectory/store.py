@@ -274,6 +274,78 @@ class TrajectoryDatabase:
             return None
         return lo, hi
 
+    def max_observed_speed_mps(self) -> float:
+        """The fastest observed speed anywhere in the dataset.
+
+        The conservative ``v_max`` for halo sizing in the sharded serving
+        layer (:mod:`repro.serving`): no expansion can outrun the fastest
+        speed any estimator will ever use.  Returns 0.0 for an empty
+        dataset.
+        """
+        self.finalize()
+        return max(self._stats_max.values(), default=0.0)
+
+    def export_speed_model(
+        self, segment_ids: Iterable[int] | None = None
+    ) -> dict:
+        """Extract the finalized per-(segment, hour) speed statistics.
+
+        The Con-Index derives entirely from :meth:`observed_speed_bounds`
+        plus the network topology, and every executor reads only
+        ``num_days`` — so a worker process can serve queries from this
+        statistics-only payload without shipping raw trajectories.
+
+        Args:
+            segment_ids: restrict the export to these segments (None:
+                everything).  Statistics for a kept segment are exported
+                for all 24 hours.
+
+        Returns:
+            A picklable dict for :meth:`from_speed_model`.
+        """
+        self.finalize()
+        if segment_ids is None:
+            keep = None
+        else:
+            keep = set(segment_ids)
+
+        def _filter(stats: dict) -> dict:
+            if keep is None:
+                return dict(stats)
+            return {
+                key: value
+                for key, value in stats.items()
+                if key // HOURS_PER_DAY in keep
+            }
+
+        return {
+            "num_taxis": self.num_taxis,
+            "num_days": self.num_days,
+            "num_trajectories": len(self._trajectories),
+            "stats_min": _filter(self._stats_min),
+            "stats_max": _filter(self._stats_max),
+            "stats_sum": _filter(self._stats_sum),
+            "stats_count": _filter(self._stats_count),
+        }
+
+    @classmethod
+    def from_speed_model(cls, model: dict) -> "TrajectoryDatabase":
+        """Rebuild a statistics-only database from :meth:`export_speed_model`.
+
+        The result answers :meth:`speed_stats` / :meth:`observed_speed_bounds`
+        and carries ``num_days`` (Eq. 3.1's ``m``) identically to the
+        source, but holds no trajectories — :meth:`__iter__` is empty and
+        adding new data would wrongly reset the imported statistics, so
+        ingestion is not supported on a restored instance.
+        """
+        database = cls(num_taxis=model["num_taxis"], num_days=model["num_days"])
+        database._stats_min = dict(model["stats_min"])
+        database._stats_max = dict(model["stats_max"])
+        database._stats_sum = dict(model["stats_sum"])
+        database._stats_count = dict(model["stats_count"])
+        database._finalized = True
+        return database
+
     def stats(self) -> DatasetStats:
         return DatasetStats(
             num_taxis=self.num_taxis,

@@ -1,0 +1,311 @@
+"""Sharded serving: partitioner, lifecycle, accounting, equivalence.
+
+The equivalence tests (marked ``sharded``) spawn real worker processes
+and prove the tentpole guarantees: identical results to the
+single-process engine on a randomized fig-4.8-style workload, and
+*exact* I/O aggregation — per-shard DiskStats windows sum to the batch
+window, and each shard's window equals a fresh single-process engine
+running that shard's exact sub-requests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.client import ReachabilityClient
+from repro.api.envelope import QueryOptions, Request
+from repro.core.engine import ReachabilityEngine
+from repro.core.query import MQuery
+from repro.core.service import QueryService
+from repro.eval.workload import QueryWorkload
+from repro.serving import ShardedEngine, partition_network
+from repro.serving.partition import SegmentLocator, build_subnetwork
+from repro.serving.protocol import pack_result, unpack_result
+from repro.storage.disk import DiskStats
+
+
+def fresh_engine(dataset) -> ReachabilityEngine:
+    """A from-scratch engine (index built, no queries run yet).
+
+    Sharded equivalence needs a *fresh* parent: the shard slices copy
+    the parent disk's append tail, so a parent that already served
+    queries (extra Con-Index appends) would not match a from-scratch
+    oracle page-for-page.
+    """
+    engine = ReachabilityEngine(dataset.network, dataset.database)
+    engine.st_index(300)
+    return engine
+
+
+def mixed_requests(network, num_s: int = 12, num_m: int = 4, seed: int = 17):
+    """A fig-4.8-style randomized workload plus reverse traffic."""
+    workload = QueryWorkload(network, seed=seed)
+    requests = [
+        Request(query)
+        for query in workload.mixed_batch(num_s, num_m, start_time_s=8 * 3600)
+    ]
+    requests += [
+        Request(query, QueryOptions(direction="reverse"))
+        for query in workload.s_queries(
+            3, start_time_s=9 * 3600, salt="reverse"
+        )
+    ]
+    return requests
+
+
+# -- per-query I/O attribution (single-process) ---------------------------
+
+
+class TestBatchAttribution:
+    """Per-query windows sum exactly to the batch window, threaded too."""
+
+    def test_serial_per_query_io_sums_to_batch(self, engine):
+        requests = mixed_requests(engine.network, 8, 2)
+        client = ReachabilityClient(QueryService(engine))
+        report = client.run_batch(requests, max_workers=1)
+        total = sum((r.cost.io for r in report.results), DiskStats())
+        assert total == report.io
+
+    def test_threaded_per_query_io_sums_to_batch(self, engine):
+        requests = mixed_requests(engine.network, 8, 2)
+        client = ReachabilityClient(QueryService(engine))
+        report = client.run_batch(requests, max_workers=4)
+        total = sum((r.cost.io for r in report.results), DiskStats())
+        # Every page read/pool hit is charged to exactly one executing
+        # thread, so the sum of per-query windows is the batch window —
+        # the regression this PR fixes (the old global-diff attribution
+        # double-counted overlapping queries).
+        assert total == report.io
+
+    def test_threaded_per_query_accesses_deterministic(self, engine):
+        requests = mixed_requests(engine.network, 8, 2)
+        client = ReachabilityClient(QueryService(engine))
+        serial = client.run_batch(requests, max_workers=1)
+        threaded = client.run_batch(requests, max_workers=4)
+        for a, b in zip(serial.results, threaded.results):
+            # hits-vs-misses can shift with scheduling (whoever touches a
+            # page first pays the miss) but each query's page *accesses*
+            # are a property of the query, not the schedule.
+            assert (
+                a.cost.io.pool_hits + a.cost.io.pool_misses
+                == b.cost.io.pool_hits + b.cost.io.pool_misses
+            )
+
+
+# -- partitioner ----------------------------------------------------------
+
+
+class TestPartitioner:
+    def test_owned_sets_partition_the_network(self, test_dataset):
+        plan = partition_network(test_dataset.network, 4, halo_m=2000.0)
+        all_ids = {s.segment_id for s in test_dataset.network.segments()}
+        owned = [spec.owned for spec in plan.shards]
+        union = set().union(*owned)
+        assert union == all_ids
+        assert sum(len(o) for o in owned) == len(all_ids)  # disjoint
+        assert plan.owner_of.keys() == all_ids
+
+    def test_balanced_and_deterministic(self, test_dataset):
+        plan_a = partition_network(test_dataset.network, 4, halo_m=2000.0)
+        plan_b = partition_network(test_dataset.network, 4, halo_m=2000.0)
+        sizes = [len(spec.owned) for spec in plan_a.shards]
+        assert max(sizes) - min(sizes) <= max(2, len(plan_a.owner_of) // 10)
+        for a, b in zip(plan_a.shards, plan_b.shards):
+            assert a.owned == b.owned and a.halo == b.halo
+
+    def test_single_shard_owns_everything(self, test_dataset):
+        plan = partition_network(test_dataset.network, 1, halo_m=2000.0)
+        assert plan.num_shards == 1
+        assert not plan.shards[0].halo
+        assert plan.shards[0].owned == {
+            s.segment_id for s in test_dataset.network.segments()
+        }
+
+    def test_halo_within_radius(self, test_dataset):
+        network = test_dataset.network
+        halo_m = 1500.0
+        plan = partition_network(network, 2, halo_m=halo_m)
+        for spec in plan.shards:
+            owned_mid = [
+                network.segment(i).midpoint for i in spec.owned
+            ]
+            for halo_id in spec.halo:
+                mid = network.segment(halo_id).midpoint
+                assert any(
+                    mid.distance_to(o) <= halo_m + 1e-6 for o in owned_mid
+                )
+
+    def test_locator_matches_scalar_start_segments(self, engine):
+        # the dispatcher's vectorized owner resolution must agree with
+        # the scalar R-tree walk the workers use
+        requests = mixed_requests(engine.network, 20, 8)
+        locations = []
+        for request in requests:
+            query = request.query
+            locations.extend(
+                getattr(query, "locations", None) or [query.location]
+            )
+        locator = SegmentLocator(engine.network)
+        batch = locator.locate(locations, chunk=7)  # odd chunk: seams
+        st_index = engine.st_index(300)
+        for location, sid in zip(locations, batch):
+            assert int(sid) == st_index.find_start_segment(location)
+
+    def test_subnetwork_preserves_geometry(self, test_dataset):
+        network = test_dataset.network
+        plan = partition_network(network, 2, halo_m=2000.0)
+        sub = build_subnetwork(network, plan.shards[0].members)
+        assert sub.num_segments == len(plan.shards[0].members)
+        for segment in sub.segments():
+            original = network.segment(segment.segment_id)
+            assert segment.shape == original.shape
+            assert segment.length == original.length
+
+
+# -- wire protocol --------------------------------------------------------
+
+
+def test_result_roundtrip(engine):
+    client = ReachabilityClient(QueryService(engine))
+    response = client.send(mixed_requests(engine.network, 1, 1)[1])
+    result = response.result
+    restored = unpack_result(pack_result(result))
+    assert restored.segments == result.segments
+    assert restored.probabilities == result.probabilities
+    assert restored.start_segments == result.start_segments
+    assert (restored.max_region is None) == (result.max_region is None)
+    if result.max_region is not None:
+        assert restored.max_region.cover == result.max_region.cover
+        assert restored.max_region.boundary == result.max_region.boundary
+        assert restored.max_region.seed_of == result.max_region.seed_of
+    assert restored.cost.io == result.cost.io
+
+
+# -- lifecycle ------------------------------------------------------------
+
+
+@pytest.mark.sharded
+class TestLifecycle:
+    def test_close_terminates_workers_and_is_idempotent(self, test_dataset):
+        sharded = ShardedEngine(fresh_engine(test_dataset), shards=2)
+        processes = list(sharded._processes)
+        assert all(p.is_alive() for p in processes)
+        sharded.close()
+        assert all(not p.is_alive() for p in processes)
+        sharded.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            sharded.run_batch(mixed_requests(test_dataset.network, 1, 0))
+
+    def test_context_manager(self, test_dataset):
+        with ShardedEngine(fresh_engine(test_dataset), shards=2) as sharded:
+            processes = list(sharded._processes)
+            report = sharded.run_batch(
+                mixed_requests(test_dataset.network, 2, 0)
+            )
+            assert len(report.results) == 5
+        assert all(not p.is_alive() for p in processes)
+
+    def test_client_close_shuts_shard_workers(self, test_dataset):
+        with ReachabilityClient(
+            fresh_engine(test_dataset), backend="sharded", shards=2
+        ) as client:
+            report = client.run_batch(mixed_requests(test_dataset.network, 2, 0))
+            assert report.shard_reports
+            processes = list(client._sharded._processes)
+            assert all(p.is_alive() for p in processes)
+        assert all(not p.is_alive() for p in processes)
+        assert client._sharded is None
+
+
+# -- equivalence and exact accounting -------------------------------------
+
+
+@pytest.mark.sharded
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_matches_single_process(test_dataset, shards):
+    requests = mixed_requests(test_dataset.network)
+    baseline = ReachabilityClient(fresh_engine(test_dataset)).run_batch(
+        requests
+    )
+    with ShardedEngine(
+        QueryService(fresh_engine(test_dataset)), shards=shards
+    ) as sharded:
+        report = sharded.run_batch(requests)
+        dispatch = sharded.plan_dispatch(requests)
+
+    decomposed = set(dispatch.decomposed)
+    if shards >= 2:
+        # the workload must actually exercise cross-shard m-queries
+        assert decomposed
+    assert len(report.results) == len(requests)
+    for seq, (expected, actual) in enumerate(
+        zip(baseline.results, report.results)
+    ):
+        assert actual.segments == expected.segments
+        assert actual.start_segments == expected.start_segments
+        if seq not in decomposed:
+            # whole requests ran verbatim on one shard: probability
+            # values and regions match too (decomposed parts may compute
+            # different — equally valid — shell probabilities)
+            assert actual.probabilities == expected.probabilities
+            if expected.max_region is not None:
+                assert actual.max_region.cover == expected.max_region.cover
+
+    # exact aggregation: shard windows sum to the batch window (the
+    # workload is fully in-contract, so there is no fallback I/O)
+    assert not dispatch.fallback
+    shard_sum = sum((s.io for s in report.shard_reports), DiskStats())
+    assert shard_sum == report.io
+    assert report.simulated_io_ms == pytest.approx(
+        sum(s.simulated_io_ms for s in report.shard_reports)
+    )
+
+
+@pytest.mark.sharded
+def test_shard_windows_match_single_process_oracle(test_dataset):
+    """Each shard's DiskStats equals a fresh single-process engine
+    running that shard's exact sub-request list — shard accounting is
+    not merely internally consistent, it is *the same accounting* the
+    paper's single-process model produces."""
+    requests = mixed_requests(test_dataset.network)
+    with ShardedEngine(
+        QueryService(fresh_engine(test_dataset)), shards=2
+    ) as sharded:
+        report = sharded.run_batch(requests)
+        dispatch = sharded.plan_dispatch(requests)
+    for shard_report in report.shard_reports:
+        sub_requests = [
+            request
+            for _, _, request in dispatch.per_shard[shard_report.shard_id]
+        ]
+        with ReachabilityClient(fresh_engine(test_dataset)) as oracle:
+            oracle_report = oracle.run_batch(sub_requests, max_workers=1)
+        assert oracle_report.io == shard_report.io
+
+
+@pytest.mark.sharded
+def test_out_of_contract_requests_fall_back(test_dataset):
+    workload = QueryWorkload(test_dataset.network, seed=5)
+    (query,) = workload.s_queries(1, start_time_s=10 * 3600)
+    with ShardedEngine(
+        QueryService(fresh_engine(test_dataset)),
+        shards=2,
+        max_duration_s=300.0,  # tiny contract: everything falls back
+    ) as sharded:
+        long_query = Request(
+            type(query)(
+                location=query.location,
+                start_time_s=query.start_time_s,
+                duration_s=1800.0,
+                prob=query.prob,
+            )
+        )
+        dispatch = sharded.plan_dispatch([long_query])
+        assert dispatch.fallback and not dispatch.num_sub_requests
+        report = sharded.run_batch([long_query])
+    assert len(report.results) == 1
+    assert not report.shard_reports
+    baseline = ReachabilityClient(fresh_engine(test_dataset)).run_batch(
+        [long_query]
+    )
+    assert report.results[0].segments == baseline.results[0].segments
