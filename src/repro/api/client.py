@@ -83,9 +83,9 @@ class ReachabilityClient:
         self.backend = backend
         self.shards = shards
         self.shard_workers = shard_workers
-        self._pool: ThreadPoolExecutor | None = None
+        self._pool: ThreadPoolExecutor | None = None  # guarded_by: _pool_lock
         self._pool_lock = threading.Lock()
-        self._sharded = None
+        self._sharded = None  # guarded_by: _sharded_lock
         self._sharded_lock = threading.Lock()
 
     # -- conveniences ------------------------------------------------------

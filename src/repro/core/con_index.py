@@ -158,8 +158,8 @@ class ConnectionIndex:
         self.disk = disk if disk is not None else SimulatedDisk()
         self._store = PageStore(self.disk)
         self.pool = BufferPool(self.disk, capacity=buffer_pool_pages)
-        self._directory: dict[tuple[str, int, int], RecordPointer] = {}
-        self._decoded: OrderedDict[tuple[str, int, int], FrontierEntry] = (
+        self._directory: dict[tuple[str, int, int], RecordPointer] = {}  # guarded_by: _entry_lock
+        self._decoded: OrderedDict[tuple[str, int, int], FrontierEntry] = (  # guarded_by: _entry_lock
             OrderedDict()
         )
         self._entry_cache_size = entry_cache_size
@@ -169,14 +169,16 @@ class ConnectionIndex:
         self.compressed = compressed
         self._encode = encode_entry_compressed if compressed else encode_entry
         self._decode = decode_entry_compressed if compressed else decode_entry
-        self.bytes_stored = 0
+        self.bytes_stored = 0  # guarded_by: _entry_lock
         self._segment_length = {
             sid: network.segment(sid).length for sid in network.segment_ids()
         }
-        self._tt_vectors: dict[tuple[bool, int], np.ndarray] = {}
-        self._tt_lists: dict[tuple[bool, int], list[float]] = {}
-        self._tt_csr = None  # the CSR view the cached vectors were built for
-        self.expansions = 0  # construction-side counter, for ablations
+        self._tt_vectors: dict[tuple[bool, int], np.ndarray] = {}  # guarded_by: _entry_lock
+        self._tt_lists: dict[tuple[bool, int], list[float]] = {}  # guarded_by: _entry_lock
+        # The CSR view the cached vectors were built for.
+        self._tt_csr = None  # guarded_by: _entry_lock
+        # Construction-side counter, for ablations.
+        self.expansions = 0  # guarded_by: _entry_lock
 
     # -- slot helpers -------------------------------------------------------
 
@@ -219,29 +221,34 @@ class ConnectionIndex:
         gather against it.
         """
         csr = self.network.csr()
-        if csr is not self._tt_csr:
-            # Topology changed (the network rebuilt its CSR view): cached
-            # cost vectors have the old row count and must be rebuilt.
-            self._tt_vectors.clear()
-            self._tt_lists.clear()
-            self._tt_csr = csr
-        hour = self.slot_hour(slot)
-        pick_max = kind.startswith("far")
-        key = (pick_max, hour)
-        vector = self._tt_vectors.get(key)
-        if vector is None:
-            bounds_of = self.database.observed_speed_bounds
-            probe_time = hour * 3600.0
-            speeds = np.zeros(csr.n, dtype=np.float64)
-            for row, segment_id in enumerate(csr.ids.tolist()):
-                bounds = bounds_of(segment_id, probe_time)
-                if bounds is not None:
-                    speeds[row] = bounds[1] if pick_max else bounds[0]
-            vector = np.full(csr.n, float("inf"))
-            positive = speeds > 0
-            vector[positive] = csr.lengths[positive] / speeds[positive]
-            self._tt_vectors[key] = vector
-        return vector
+        # The caches are cleared by invalidate_entries() under _entry_lock,
+        # so the stale-CSR swap and the fill must hold it too (reentrant:
+        # entry() -> _compute() -> here is the common call path).
+        with self._entry_lock:
+            if csr is not self._tt_csr:
+                # Topology changed (the network rebuilt its CSR view):
+                # cached cost vectors have the old row count and must be
+                # rebuilt.
+                self._tt_vectors.clear()
+                self._tt_lists.clear()
+                self._tt_csr = csr
+            hour = self.slot_hour(slot)
+            pick_max = kind.startswith("far")
+            key = (pick_max, hour)
+            vector = self._tt_vectors.get(key)
+            if vector is None:
+                bounds_of = self.database.observed_speed_bounds
+                probe_time = hour * 3600.0
+                speeds = np.zeros(csr.n, dtype=np.float64)
+                for row, segment_id in enumerate(csr.ids.tolist()):
+                    bounds = bounds_of(segment_id, probe_time)
+                    if bounds is not None:
+                        speeds[row] = bounds[1] if pick_max else bounds[0]
+                vector = np.full(csr.n, float("inf"))
+                positive = speeds > 0
+                vector[positive] = csr.lengths[positive] / speeds[positive]
+                self._tt_vectors[key] = vector
+            return vector
 
     def travel_time_list(self, kind: Kind, slot: int) -> list[float]:
         """:meth:`travel_time_vector` as a plain Python list (cached).
@@ -251,14 +258,17 @@ class ConnectionIndex:
         ``tolist`` conversion.
         """
         # Resolving the vector first also validates the CSR view (stale
-        # caches are cleared there when the topology changed).
-        vector = self.travel_time_vector(kind, slot)
-        key = (kind.startswith("far"), self.slot_hour(slot))
-        values = self._tt_lists.get(key)
-        if values is None:
-            values = vector.tolist()
-            self._tt_lists[key] = values
-        return values
+        # caches are cleared there when the topology changed).  Holding the
+        # (reentrant) lock across both steps keeps the list cache coherent
+        # with the vector it was derived from.
+        with self._entry_lock:
+            vector = self.travel_time_vector(kind, slot)
+            key = (kind.startswith("far"), self.slot_hour(slot))
+            values = self._tt_lists.get(key)
+            if values is None:
+                values = vector.tolist()
+                self._tt_lists[key] = values
+            return values
 
     def travel_time(self, kind: Kind, slot: int):
         """Per-segment traversal seconds as a callable (classic interface).
@@ -317,6 +327,7 @@ class ConnectionIndex:
     def near(self, segment_id: int, slot: int) -> FrontierEntry:
         return self.entry(segment_id, slot, "near")
 
+    # repro-lint: holds=_entry_lock
     def _compute(self, segment_id: int, slot: int, kind: Kind) -> FrontierEntry:
         from repro.network import csr as csr_module
 
@@ -387,4 +398,5 @@ class ConnectionIndex:
 
     @property
     def num_entries(self) -> int:
-        return len(self._directory)
+        with self._entry_lock:
+            return len(self._directory)

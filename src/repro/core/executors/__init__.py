@@ -136,8 +136,8 @@ class ExecutionContext:
         self.engine = engine
         self.delta_t_s = delta_t_s
         self.region_cache = region_cache
-        self.regions_computed = 0
-        self.regions_reused = 0
+        self.regions_computed = 0  # guarded_by: _stats_lock
+        self.regions_reused = 0  # guarded_by: _stats_lock
         self._stats_lock = threading.Lock()
 
     # -- resource access -----------------------------------------------------

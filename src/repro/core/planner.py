@@ -14,6 +14,7 @@ executor, not editing dispatch chains.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.executors import executor_names, has_executor
 from repro.core.query import MQuery, SQuery
@@ -144,16 +145,16 @@ def plan_query(
     )
 
 
-def plan_s_query(query: SQuery, algorithm: str = "sqmb_tbs", **kw) -> QueryPlan:
+def plan_s_query(query: SQuery, algorithm: str = "sqmb_tbs", **kw: Any) -> QueryPlan:
     """Plan a single-location query (convenience wrapper)."""
     return plan_query("s", query, algorithm, **kw)
 
 
-def plan_m_query(query: MQuery, algorithm: str = "mqmb_tbs", **kw) -> QueryPlan:
+def plan_m_query(query: MQuery, algorithm: str = "mqmb_tbs", **kw: Any) -> QueryPlan:
     """Plan a multi-location query (convenience wrapper)."""
     return plan_query("m", query, algorithm, **kw)
 
 
-def plan_r_query(query: SQuery, algorithm: str = "sqmb_tbs", **kw) -> QueryPlan:
+def plan_r_query(query: SQuery, algorithm: str = "sqmb_tbs", **kw: Any) -> QueryPlan:
     """Plan a reverse query (convenience wrapper)."""
     return plan_query("r", query, algorithm, **kw)

@@ -9,10 +9,14 @@ additionally) simulated disk I/O.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.spatial.geometry import Point
 from repro.storage.disk import DiskStats
 from repro.trajectory.model import SECONDS_PER_DAY
+
+if TYPE_CHECKING:  # import cycle: network.model imports nothing from core
+    from repro.network.model import RoadNetwork
 
 
 @dataclass(frozen=True)
@@ -157,7 +161,7 @@ class QueryResult:
     min_region: BoundingRegion | None = None
     cost: QueryCost = field(default_factory=QueryCost)
 
-    def road_length_m(self, network) -> float:
+    def road_length_m(self, network: RoadNetwork) -> float:
         """Total length of the result segments, deduplicating two-way twins.
 
         This is the paper's effectiveness metric ("total length of covered

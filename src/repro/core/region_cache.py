@@ -41,12 +41,12 @@ class RegionCache:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
-        self._inflight: dict[Hashable, threading.Event] = {}
-        self._generation = 0
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()  # guarded_by: _lock
+        self._inflight: dict[Hashable, threading.Event] = {}  # guarded_by: _lock
+        self._generation = 0  # guarded_by: _lock
+        self.hits = 0  # guarded_by: _lock
+        self.misses = 0  # guarded_by: _lock
+        self.invalidations = 0  # guarded_by: _lock
 
     def __len__(self) -> int:
         with self._lock:

@@ -229,10 +229,10 @@ class STIndex:
         self._directory: dict[tuple[int, int], list[RecordPointer]] = {}
         self._built = False
         self.record_cache_size = record_cache_size
-        self._decoded_records: OrderedDict[
+        self._decoded_records: OrderedDict[  # guarded_by: _record_lock
             RecordPointer, dict[int, list[tuple[int, int]]]
         ] = OrderedDict()
-        self._columnar_records: OrderedDict[
+        self._columnar_records: OrderedDict[  # guarded_by: _record_lock
             RecordPointer, ColumnarTimeList
         ] = OrderedDict()
         # Window-gather memo: (segment, plan) -> the filtered key array
@@ -242,15 +242,15 @@ class STIndex:
         # the I/O accounting is identical to recomputing — the same
         # contract as the decoded-record LRUs.  Cleared when appends
         # extend a directory chain.
-        self._window_gathers: OrderedDict[
+        self._window_gathers: OrderedDict[  # guarded_by: _record_lock
             tuple[int, tuple],
             tuple[np.ndarray, tuple[RecordPointer, ...], tuple[int, ...]],
         ] = OrderedDict()
         # Bumped (under _record_lock) whenever appends grow a directory
         # chain; a gather that started before the bump must not insert
         # its pre-append entry into the memo after the clear.
-        self._data_epoch = 0
-        self._window_plans: OrderedDict[
+        self._data_epoch = 0  # guarded_by: _record_lock
+        self._window_plans: OrderedDict[  # guarded_by: _record_lock
             tuple[float, float], tuple[tuple[int, bool, float, float], ...]
         ] = OrderedDict()
         self._record_lock = threading.Lock()
@@ -772,7 +772,9 @@ class STIndex:
                             needed[pointer] = record
             for pointer in missing:
                 # Uncharged decode: the pages were charged (and pulled
-                # through the pool) by the batched charge above.
+                # through the pool) by the batched charge above, so the raw
+                # extent read cannot double- or under-count.
+                # repro-lint: disable=RL002
                 needed[pointer] = decode_time_list_columns(
                     self.disk.extent_bytes(
                         pointer.first_page, pointer.offset, pointer.length

@@ -33,6 +33,8 @@ an equal :class:`~repro.core.query.QueryResult` on the parent side.
 
 from __future__ import annotations
 
+from typing import Collection
+
 import numpy as np
 
 from repro.core.query import BoundingRegion, QueryResult
@@ -43,11 +45,13 @@ MSG_OK = "ok"
 MSG_ERROR = "error"
 
 
-def _pack_ids(ids) -> np.ndarray:
+def _pack_ids(ids: Collection[int]) -> np.ndarray:
     return np.fromiter(ids, dtype=np.int64, count=len(ids))
 
 
-def _pack_region(region: BoundingRegion | None):
+def _pack_region(
+    region: BoundingRegion | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
     if region is None:
         return None
     seed_items = region.seed_of.items()
@@ -58,7 +62,9 @@ def _pack_region(region: BoundingRegion | None):
     )
 
 
-def _unpack_region(packed) -> BoundingRegion | None:
+def _unpack_region(
+    packed: tuple[np.ndarray, np.ndarray, np.ndarray] | None,
+) -> BoundingRegion | None:
     if packed is None:
         return None
     cover, boundary, seeds = packed

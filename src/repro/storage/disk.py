@@ -136,10 +136,10 @@ class SimulatedDisk:
         self.page_size = page_size
         self.read_latency_ms = read_latency_ms
         self.write_latency_ms = write_latency_ms
-        self.stats = DiskStats()
-        self._buf = bytearray()
-        self._used: list[int] = []  # payload length per page
-        self._pools: list[weakref.ReferenceType] = []
+        self.stats = DiskStats()  # guarded_by: _lock
+        self._buf = bytearray()  # guarded_by: _lock
+        self._used: list[int] = []  # payload length per page  # guarded_by: _lock
+        self._pools: list[weakref.ReferenceType] = []  # guarded_by: _lock
         # One lock covers buffer mutation and counter updates, so batch
         # worker threads accumulate exact stats.  Buffer pools may call in
         # while holding their shard locks; the disk never calls back into
@@ -183,6 +183,7 @@ class SimulatedDisk:
                 return None
             return self._allocate_locked(count)
 
+    # repro-lint: holds=_lock
     def _allocate_locked(self, count: int) -> int:
         first = len(self._used)
         self._buf.extend(b"\x00" * (count * self.page_size))
@@ -191,7 +192,8 @@ class SimulatedDisk:
 
     @property
     def num_pages(self) -> int:
-        return len(self._used)
+        with self._lock:
+            return len(self._used)
 
     # -- I/O -----------------------------------------------------------
 
@@ -293,10 +295,12 @@ class SimulatedDisk:
 
     def simulated_io_ms(self, stats: DiskStats | None = None) -> float:
         """Accounted I/O time in milliseconds for ``stats`` (default: own)."""
-        s = stats if stats is not None else self.stats
+        if stats is None:
+            with self._lock:
+                stats = self.stats.copy()
         return (
-            s.page_reads * self.read_latency_ms
-            + s.page_writes * self.write_latency_ms
+            stats.page_reads * self.read_latency_ms
+            + stats.page_writes * self.write_latency_ms
         )
 
     def snapshot(self) -> DiskStats:
@@ -424,13 +428,15 @@ class SimulatedDisk:
             stats = self._tlocal.stats = DiskStats()
         return stats
 
+    # repro-lint: holds=_lock
     def _used_checked(self, page_id: int) -> int:
         if not 0 <= page_id < len(self._used):
             raise DiskError(f"page {page_id} was never allocated")
         return self._used[page_id]
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
-        return (
-            f"SimulatedDisk(pages={self.num_pages}, "
-            f"reads={self.stats.page_reads}, writes={self.stats.page_writes})"
-        )
+        with self._lock:
+            pages = len(self._used)
+            reads = self.stats.page_reads
+            writes = self.stats.page_writes
+        return f"SimulatedDisk(pages={pages}, reads={reads}, writes={writes})"

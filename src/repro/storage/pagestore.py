@@ -90,9 +90,9 @@ class PageStore:
         # The tail page is allocated lazily on first append, so opening a
         # store over existing pages (the persistence restore path) does
         # not grow the disk.
-        self._tail_page_id: int | None = None
-        self._tail = bytearray()
-        self._dirty = False
+        self._tail_page_id: int | None = None  # guarded_by: _tail_lock
+        self._tail = bytearray()  # guarded_by: _tail_lock
+        self._dirty = False  # guarded_by: _tail_lock
         self._tail_lock = threading.Lock()
 
     @property
@@ -114,6 +114,7 @@ class PageStore:
         with self._tail_lock:
             return self._append_locked(payload)
 
+    # repro-lint: holds=_tail_lock
     def _append_locked(self, payload: bytes) -> RecordPointer:
         disk = self._disk
         page_size = disk.page_size
@@ -180,7 +181,9 @@ class PageStore:
 
     def flush(self) -> None:
         """Write the dirty tail page out (the build-end group commit)."""
-        if not self._dirty:
+        # Double-checked fast path: a stale False only skips a flush some
+        # other writer is responsible for; the locked re-check decides.
+        if not self._dirty:  # repro-lint: disable=RL001
             return
         with self._tail_lock:
             if self._dirty:
@@ -195,7 +198,9 @@ class PageStore:
         only becomes visible to readers after its append returned, at
         which point any of its unflushed bytes have already set the flag.
         """
-        if not self._dirty:
+        # Double-checked fast path; see the docstring for why the unlocked
+        # read cannot miss a flush a visible pointer depends on.
+        if not self._dirty:  # repro-lint: disable=RL001
             return
         with self._tail_lock:
             if not self._dirty:
@@ -206,6 +211,7 @@ class PageStore:
                     self._flush_tail()
                     return
 
+    # repro-lint: holds=_tail_lock
     def _flush_tail(self) -> None:
         self._disk.write_page(self._tail_page_id, bytes(self._tail))
         self._dirty = False
@@ -223,8 +229,10 @@ class PageStore:
         # Snapshot the tail id: a concurrent append can flush a full tail
         # and reset it to None between these reads (dirty implies a tail
         # exists only under the lock).
-        tail = self._tail_page_id
-        if self._dirty and tail is not None and tail in pointer:
+        # Double-checked fast path: the unlocked snapshot only gates entry
+        # to the locked re-check, which re-reads both fields.
+        tail = self._tail_page_id  # repro-lint: disable=RL001
+        if self._dirty and tail is not None and tail in pointer:  # repro-lint: disable=RL001
             with self._tail_lock:
                 tail = self._tail_page_id
                 if self._dirty and tail is not None and tail in pointer:

@@ -129,3 +129,86 @@ class TestConnectionIndex:
         assert near.cover == {0}
         # 600 m at 12 m/s = 50 s: far cover reaches 6 hops.
         assert len(far.cover) > 10
+
+
+class TestTravelTimeCacheLocking:
+    """Regression tests for RL001 fixes: the travel-time caches are
+    mutated under ``_entry_lock`` (they are cleared under that lock by
+    ``invalidate_entries``, so unlocked fills could resurrect stale
+    vectors or publish a half-built cache to another thread)."""
+
+    def test_vector_fill_holds_entry_lock(self, network, database):
+        con = ConnectionIndex(network, database, 300)
+        slot = con.slot_of(day_time(11))
+        # A fill that runs while another thread already holds the entry
+        # lock must wait for it rather than racing the cache dict.
+        acquired = con._entry_lock.acquire(blocking=False)
+        assert acquired
+        try:
+            order: list[str] = []
+            import threading
+
+            def fill():
+                con.travel_time_vector("far", slot)
+                order.append("filled")
+
+            t = threading.Thread(target=fill)
+            t.start()
+            t.join(timeout=0.2)
+            # Still blocked: the lock is held here.
+            assert order == []
+        finally:
+            con._entry_lock.release()
+        t.join(timeout=5)
+        assert order == ["filled"]
+
+    def test_concurrent_fill_and_invalidate(self, network, database):
+        import threading
+
+        con = ConnectionIndex(network, database, 300)
+        slot = con.slot_of(day_time(11))
+        expected = con.travel_time_vector("far", slot).copy()
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    vec = con.travel_time_vector("far", slot)
+                    values = con.travel_time_list("far", slot)
+                    assert len(values) == vec.shape[0]
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def invalidator():
+            try:
+                for _ in range(50):
+                    con.invalidate_entries()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=invalidator))
+        for t in threads:
+            t.start()
+        threads[-1].join()
+        stop.set()
+        for t in threads[:-1]:
+            t.join()
+        assert errors == []
+        assert con.travel_time_vector("far", slot).tolist() == expected.tolist()
+
+    def test_entry_path_is_reentrant(self, network, database):
+        # entry() holds the lock while _compute() resolves travel times,
+        # which re-enter the same RLock.
+        con = ConnectionIndex(network, database, 300)
+        slot = con.slot_of(day_time(11))
+        with con._entry_lock:
+            entry = con.entry(0, slot, "far")
+        assert 0 in entry.cover
+
+    def test_num_entries_locked_read(self, network, database):
+        con = ConnectionIndex(network, database, 300)
+        slot = con.slot_of(day_time(11))
+        con.entry(0, slot, "far")
+        assert con.num_entries == 1

@@ -1,0 +1,692 @@
+"""Tests for the repro-lint invariant checker suite (tools/repro_lint).
+
+Each rule gets a minimal passing and failing fixture snippet, plus
+framework-level coverage: inline suppressions, baseline round-trips,
+the JSON report schema, and the CLI exit codes the CI gate relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.repro_lint.core import (
+    apply_baseline,
+    load_baseline,
+    report_json,
+    run_paths,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_snippet(tmp_path: Path, source: str, name: str = "mod.py", select=None):
+    """Write *source* into a scratch tree and lint it."""
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    _, findings = run_paths([str(tmp_path)], select=select)
+    return findings
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ---------------------------------------------------------------------------
+# RL001 — lock discipline
+# ---------------------------------------------------------------------------
+
+
+class TestRL001LockDiscipline:
+    GOOD = """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0  # guarded_by: _lock
+
+            def bump(self):
+                with self._lock:
+                    self.value += 1
+
+            # repro-lint: holds=_lock
+            def _bump_locked(self):
+                self.value += 1
+    """
+
+    BAD = """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0  # guarded_by: _lock
+
+            def bump(self):
+                self.value += 1
+    """
+
+    def test_guarded_access_under_with_passes(self, tmp_path):
+        assert lint_snippet(tmp_path, self.GOOD, select=["RL001"]) == []
+
+    def test_unguarded_write_fails(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.BAD, select=["RL001"])
+        assert rules_of(findings) == ["RL001"]
+        assert "guarded by self._lock" in findings[0].message
+        assert "written" in findings[0].message
+
+    def test_unguarded_read_fails(self, tmp_path):
+        source = self.BAD.replace("self.value += 1", "return self.value")
+        findings = lint_snippet(tmp_path, source, select=["RL001"])
+        assert rules_of(findings) == ["RL001"]
+        assert "read" in findings[0].message
+
+    def test_wrong_lock_fails(self, tmp_path):
+        source = """
+            import threading
+
+            class TwoLocks:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+                    self.value = 0  # guarded_by: _a
+
+                def bump(self):
+                    with self._b:
+                        self.value += 1
+        """
+        findings = lint_snippet(tmp_path, source, select=["RL001"])
+        assert len(findings) == 1
+
+    def test_holds_annotation_above_def(self, tmp_path):
+        assert lint_snippet(tmp_path, self.GOOD, select=["RL001"]) == []
+
+    def test_multiline_declaration_comment(self, tmp_path):
+        source = """
+            import threading
+            from collections import OrderedDict
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries: OrderedDict[  # guarded_by: _lock
+                        str, int
+                    ] = OrderedDict()
+
+                def size(self):
+                    return len(self._entries)
+        """
+        findings = lint_snippet(tmp_path, source, select=["RL001"])
+        assert len(findings) == 1
+
+    def test_suppression_comment_honored(self, tmp_path):
+        source = self.BAD.replace(
+            "self.value += 1",
+            "self.value += 1  # repro-lint: disable=RL001",
+        )
+        assert lint_snippet(tmp_path, source, select=["RL001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 — I/O-accounting contract
+# ---------------------------------------------------------------------------
+
+
+class TestRL002IoAccounting:
+    def test_raw_read_outside_storage_fails(self, tmp_path):
+        source = """
+            def peek(disk, page_id):
+                return disk.read_page(page_id)
+        """
+        findings = lint_snippet(tmp_path, source, name="core/peek.py", select=["RL002"])
+        assert rules_of(findings) == ["RL002"]
+
+    def test_buffer_attribute_outside_storage_fails(self, tmp_path):
+        source = """
+            def raw(disk):
+                return bytes(disk._buf)
+        """
+        findings = lint_snippet(tmp_path, source, name="core/raw.py", select=["RL002"])
+        assert rules_of(findings) == ["RL002"]
+
+    def test_storage_paths_exempt(self, tmp_path):
+        source = """
+            def charge(disk, page_ids):
+                disk.charge_reads(page_ids)
+                return disk._buf
+        """
+        findings = lint_snippet(
+            tmp_path, source, name="storage/inside.py", select=["RL002"]
+        )
+        assert findings == []
+
+    def test_pool_and_store_access_passes(self, tmp_path):
+        source = """
+            def read(store, pool, pointer):
+                return store.read(pointer, pool=pool)
+        """
+        findings = lint_snippet(tmp_path, source, name="core/ok.py", select=["RL002"])
+        assert findings == []
+
+    def test_suppression_on_statement_first_line(self, tmp_path):
+        source = """
+            def decode(disk, pointer):
+                # repro-lint: disable=RL002
+                return decode_bytes(
+                    disk.extent_bytes(
+                        pointer.first_page, pointer.offset, pointer.length
+                    )
+                )
+        """
+        findings = lint_snippet(tmp_path, source, name="core/dec.py", select=["RL002"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 — spawn safety
+# ---------------------------------------------------------------------------
+
+
+class TestRL003SpawnSafety:
+    def test_plain_payload_passes(self, tmp_path):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class ShardPayload:
+                shard_id: int
+                pages: bytes
+                used: tuple
+        """
+        findings = lint_snippet(
+            tmp_path, source, name="serving/payload.py", select=["RL003"]
+        )
+        assert findings == []
+
+    def test_lock_field_fails(self, tmp_path):
+        source = """
+            import threading
+            from dataclasses import dataclass
+
+            @dataclass
+            class ShardPayload:
+                shard_id: int
+                lock: threading.Lock
+        """
+        findings = lint_snippet(
+            tmp_path, source, name="serving/payload.py", select=["RL003"]
+        )
+        assert rules_of(findings) == ["RL003"]
+        assert "Lock" in findings[0].message
+
+    def test_engine_backref_fails(self, tmp_path):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class ShardPayload:
+                engine: "ReachabilityEngine"
+        """
+        findings = lint_snippet(
+            tmp_path, source, name="serving/payload.py", select=["RL003"]
+        )
+        assert rules_of(findings) == ["RL003"]
+
+    def test_unannotated_field_fails(self, tmp_path):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class ShardPayload:
+                shard_id: int
+                DEFAULT_SLACK = 6
+        """
+        findings = lint_snippet(
+            tmp_path, source, name="serving/payload.py", select=["RL003"]
+        )
+        assert rules_of(findings) == ["RL003"]
+        assert "unannotated" in findings[0].message
+
+    def test_transitive_walk_flags_nested_dataclass(self, tmp_path):
+        source = """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass
+            class Inner:
+                callback: Callable
+
+            @dataclass
+            class ShardPayload:
+                inner: Inner
+        """
+        findings = lint_snippet(
+            tmp_path, source, name="serving/payload.py", select=["RL003"]
+        )
+        assert rules_of(findings) == ["RL003"]
+        assert any("reached via" in f.message for f in findings)
+
+    def test_payload_marker_comment(self, tmp_path):
+        source = """
+            import threading
+            from dataclasses import dataclass
+
+            # repro-lint: payload
+            @dataclass
+            class WorkOrder:
+                lock: threading.Lock
+        """
+        findings = lint_snippet(
+            tmp_path, source, name="serving/orders.py", select=["RL003"]
+        )
+        assert rules_of(findings) == ["RL003"]
+
+    def test_outside_serving_ignored(self, tmp_path):
+        source = """
+            import threading
+            from dataclasses import dataclass
+
+            @dataclass
+            class NotAPayload:
+                lock: threading.Lock
+        """
+        findings = lint_snippet(
+            tmp_path, source, name="core/stuff.py", select=["RL003"]
+        )
+        assert findings == []
+
+    def test_real_shard_payload_is_spawn_safe(self):
+        _, findings = run_paths(
+            [str(REPO_ROOT / "src" / "repro" / "serving")], select=["RL003"]
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 — registry/router completeness
+# ---------------------------------------------------------------------------
+
+
+class TestRL004RegistryCompleteness:
+    REGISTRY = """
+        def register_executor(kind, name):
+            def wrap(fn):
+                return fn
+            return wrap
+
+        @register_executor("s", "sqmb_tbs")
+        def run_s(q):
+            return None
+
+        @register_executor("m", "mqmb_tbs")
+        def run_m(q):
+            return None
+    """
+
+    def test_router_literal_resolves(self, tmp_path):
+        (tmp_path / "core" / "executors").mkdir(parents=True)
+        (tmp_path / "core" / "executors" / "reg.py").write_text(
+            textwrap.dedent(self.REGISTRY)
+        )
+        (tmp_path / "api").mkdir()
+        (tmp_path / "api" / "router.py").write_text(
+            textwrap.dedent(
+                """
+                def route(decide):
+                    return decide("sqmb_tbs", "paper-s", "default")
+                """
+            )
+        )
+        _, findings = run_paths([str(tmp_path)], select=["RL004"])
+        assert findings == []
+
+    def test_router_unknown_literal_fails(self, tmp_path):
+        (tmp_path / "core" / "executors").mkdir(parents=True)
+        (tmp_path / "core" / "executors" / "reg.py").write_text(
+            textwrap.dedent(self.REGISTRY)
+        )
+        (tmp_path / "api").mkdir()
+        (tmp_path / "api" / "router.py").write_text(
+            textwrap.dedent(
+                """
+                def route(decide):
+                    return decide("sqmb_tbs_fast", "paper-s", "oops")
+                """
+            )
+        )
+        _, findings = run_paths([str(tmp_path)], select=["RL004"])
+        assert rules_of(findings) == ["RL004"]
+        assert "sqmb_tbs_fast" in findings[0].message
+
+    def test_executor_module_without_registration_fails(self, tmp_path):
+        (tmp_path / "core" / "executors").mkdir(parents=True)
+        (tmp_path / "core" / "executors" / "reg.py").write_text(
+            textwrap.dedent(self.REGISTRY)
+        )
+        (tmp_path / "core" / "executors" / "dead.py").write_text(
+            "def helper():\n    return 1\n"
+        )
+        _, findings = run_paths([str(tmp_path)], select=["RL004"])
+        assert rules_of(findings) == ["RL004"]
+        assert "registers nothing" in findings[0].message
+
+    def test_paper_algorithms_kind_mismatch_fails(self, tmp_path):
+        (tmp_path / "core" / "executors").mkdir(parents=True)
+        (tmp_path / "core" / "executors" / "reg.py").write_text(
+            textwrap.dedent(self.REGISTRY)
+        )
+        (tmp_path / "api").mkdir()
+        (tmp_path / "api" / "router.py").write_text(
+            'PAPER_ALGORITHMS = {"r": "mqmb_tbs"}\n'
+        )
+        _, findings = run_paths([str(tmp_path)], select=["RL004"])
+        assert rules_of(findings) == ["RL004"]
+        assert "not registered for that kind" in findings[0].message
+
+    def test_real_tree_is_complete(self):
+        _, findings = run_paths([str(REPO_ROOT / "src")], select=["RL004"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 — deprecation firewall
+# ---------------------------------------------------------------------------
+
+
+class TestRL005DeprecationFirewall:
+    def test_shim_call_fails(self, tmp_path):
+        source = """
+            def ask(engine):
+                return engine.s_query(1, 0.0, 60.0, 0.5)
+        """
+        findings = lint_snippet(tmp_path, source, select=["RL005"])
+        assert rules_of(findings) == ["RL005"]
+        assert ".s_query()" in findings[0].message
+
+    def test_service_query_call_fails(self, tmp_path):
+        source = """
+            def ask(service, request):
+                return service.query(request)
+        """
+        findings = lint_snippet(tmp_path, source, select=["RL005"])
+        assert rules_of(findings) == ["RL005"]
+
+    def test_execute_passes(self, tmp_path):
+        source = """
+            def ask(service, request):
+                return service.execute(request)
+        """
+        assert lint_snippet(tmp_path, source, select=["RL005"]) == []
+
+    def test_all_export_of_undefined_name_fails(self, tmp_path):
+        source = """
+            __all__ = ["missing"]
+        """
+        findings = lint_snippet(tmp_path, source, select=["RL005"])
+        assert rules_of(findings) == ["RL005"]
+        assert "missing" in findings[0].message
+
+    def test_public_def_missing_from_all_warns(self, tmp_path):
+        source = """
+            __all__ = ["listed"]
+
+            def listed():
+                return 1
+
+            def unlisted():
+                return 2
+        """
+        findings = lint_snippet(tmp_path, source, select=["RL005"])
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert "unlisted" in findings[0].message
+
+    def test_consistent_all_passes(self, tmp_path):
+        source = """
+            __all__ = ["listed"]
+
+            def listed():
+                return 1
+
+            def _private():
+                return 2
+        """
+        assert lint_snippet(tmp_path, source, select=["RL005"]) == []
+
+
+# ---------------------------------------------------------------------------
+# Framework: baseline, JSON schema, CLI exit codes
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_round_trip_swallows_known_findings(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            textwrap.dedent(TestRL001LockDiscipline.BAD), encoding="utf-8"
+        )
+        _, findings = run_paths([str(tmp_path)], select=["RL001"])
+        assert findings
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        baseline = load_baseline(baseline_path)
+        assert apply_baseline(findings, baseline) == []
+
+    def test_baseline_is_line_independent(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            textwrap.dedent(TestRL001LockDiscipline.BAD), encoding="utf-8"
+        )
+        _, before = run_paths([str(tmp_path)], select=["RL001"])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, before)
+        # Shift every line down: same finding, different line number.
+        target.write_text(
+            "# a leading comment\n\n"
+            + textwrap.dedent(TestRL001LockDiscipline.BAD),
+            encoding="utf-8",
+        )
+        _, after = run_paths([str(tmp_path)], select=["RL001"])
+        assert after and after[0].line != before[0].line
+        assert apply_baseline(after, load_baseline(baseline_path)) == []
+
+    def test_new_finding_not_covered(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            textwrap.dedent(TestRL001LockDiscipline.BAD), encoding="utf-8"
+        )
+        _, findings = run_paths([str(tmp_path)], select=["RL001"])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        # Add a second, different violation.
+        target.write_text(
+            textwrap.dedent(TestRL001LockDiscipline.BAD).replace(
+                "def bump(self):",
+                "def peek(self):\n        return self.value\n\n    def bump(self):",
+            ),
+            encoding="utf-8",
+        )
+        _, after = run_paths([str(tmp_path)], select=["RL001"])
+        fresh = apply_baseline(after, load_baseline(baseline_path))
+        assert len(fresh) == 1
+        assert "peek" in fresh[0].message
+
+    def test_committed_baseline_entries_all_justified(self):
+        """The committed baseline must stay empty or carry a justification
+        for every grandfathered entry."""
+        baseline_path = REPO_ROOT / "tools" / "repro_lint" / "baseline.json"
+        data = json.loads(baseline_path.read_text(encoding="utf-8"))
+        for item in data.get("findings", []):
+            assert item.get("justification"), (
+                f"baseline entry without justification: {item}"
+            )
+
+
+class TestJsonReport:
+    def test_schema_snapshot(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            textwrap.dedent(TestRL001LockDiscipline.BAD), encoding="utf-8"
+        )
+        project, findings = run_paths([str(tmp_path)], select=["RL001"])
+        report = report_json(project, findings)
+        assert sorted(report) == ["files_scanned", "findings", "summary", "version"]
+        assert report["version"] == 1
+        assert report["files_scanned"] == 1
+        (finding,) = report["findings"]
+        assert sorted(finding) == [
+            "col",
+            "line",
+            "message",
+            "path",
+            "rule",
+            "severity",
+        ]
+        assert finding["rule"] == "RL001"
+        assert finding["severity"] == "error"
+        summary = report["summary"]
+        assert summary["total"] == 1
+        assert summary["errors"] == 1
+        assert summary["warnings"] == 0
+        assert summary["by_rule"] == {"RL001": 1}
+
+    def test_clean_report(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        project, findings = run_paths([str(tmp_path)])
+        report = report_json(project, findings)
+        assert report["findings"] == []
+        assert report["summary"]["total"] == 0
+
+
+class TestCliExitCodes:
+    def run_cli(self, *args: str):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.repro_lint", *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        result = self.run_cli(str(tmp_path))
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_violation_exits_nonzero(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            textwrap.dedent(TestRL001LockDiscipline.BAD), encoding="utf-8"
+        )
+        result = self.run_cli(str(tmp_path), "--no-baseline")
+        assert result.returncode == 1
+        assert "RL001" in result.stdout
+
+    def test_report_only_exits_zero(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            textwrap.dedent(TestRL001LockDiscipline.BAD), encoding="utf-8"
+        )
+        result = self.run_cli(str(tmp_path), "--no-baseline", "--report-only")
+        assert result.returncode == 0
+        assert "RL001" in result.stdout
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        result = self.run_cli(str(tmp_path), "--select", "RL999")
+        assert result.returncode == 2
+
+    def test_syntax_error_exits_nonzero(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
+        result = self.run_cli(str(tmp_path), "--no-baseline")
+        assert result.returncode == 1
+        assert "RL000" in result.stdout
+
+    def test_json_output_parses(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            textwrap.dedent(TestRL001LockDiscipline.BAD), encoding="utf-8"
+        )
+        out_file = tmp_path / "report.json"
+        result = self.run_cli(
+            str(tmp_path), "--no-baseline", "--format", "json", "--out", str(out_file)
+        )
+        assert result.returncode == 1
+        payload = json.loads(out_file.read_text(encoding="utf-8"))
+        assert payload == json.loads(result.stdout)
+        assert payload["summary"]["by_rule"] == {"RL001": 1}
+
+    def test_src_tree_is_clean(self):
+        """The acceptance gate: `python -m tools.repro_lint src/` exits 0."""
+        result = self.run_cli("src/")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestReintroducedViolationsFailGate:
+    """Acceptance criterion: deliberately re-introducing a violation of
+    each rule against a copy of the real tree makes the lint exit
+    non-zero."""
+
+    @pytest.fixture()
+    def src_copy(self, tmp_path):
+        import shutil
+
+        dest = tmp_path / "src"
+        shutil.copytree(REPO_ROOT / "src", dest)
+        return dest
+
+    def lint(self, dest):
+        _, findings = run_paths([str(dest)])
+        return findings
+
+    def test_rl001_unlocked_counter(self, src_copy):
+        disk = src_copy / "repro" / "storage" / "disk.py"
+        text = disk.read_text(encoding="utf-8")
+        text = text.replace(
+            "def allocate(self, count: int = 1) -> int:",
+            "def allocate(self, count: int = 1) -> int:\n"
+            "        self.stats.page_reads += 0\n",
+            1,
+        )
+        disk.write_text(text, encoding="utf-8")
+        assert any(f.rule == "RL001" for f in self.lint(src_copy))
+
+    def test_rl002_raw_disk_read(self, src_copy):
+        engine = src_copy / "repro" / "core" / "engine.py"
+        text = engine.read_text(encoding="utf-8")
+        engine.write_text(
+            text + "\n\ndef _peek(disk, page_id):\n    return disk.read_page(page_id)\n",
+            encoding="utf-8",
+        )
+        assert any(f.rule == "RL002" for f in self.lint(src_copy))
+
+    def test_rl003_lock_in_payload(self, src_copy):
+        partition = src_copy / "repro" / "serving" / "partition.py"
+        text = partition.read_text(encoding="utf-8")
+        text = text.replace(
+            "class ShardPayload:",
+            'class ShardPayload:\n    tail_lock: "threading.Lock"',
+            1,
+        )
+        partition.write_text(text, encoding="utf-8")
+        assert any(f.rule == "RL003" for f in self.lint(src_copy))
+
+    def test_rl004_unregistered_route(self, src_copy):
+        router = src_copy / "repro" / "api" / "router.py"
+        text = router.read_text(encoding="utf-8")
+        text = text.replace('"sqmb_tbs"', '"sqmb_tbs_fast"', 1)
+        router.write_text(text, encoding="utf-8")
+        assert any(f.rule == "RL004" for f in self.lint(src_copy))
+
+    def test_rl005_internal_shim_call(self, src_copy):
+        cli = src_copy / "repro" / "cli.py"
+        text = cli.read_text(encoding="utf-8")
+        cli.write_text(
+            text + "\n\ndef _legacy(engine):\n    return engine.s_query(0, 0.0, 60.0, 0.5)\n",
+            encoding="utf-8",
+        )
+        assert any(f.rule == "RL005" for f in self.lint(src_copy))

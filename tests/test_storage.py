@@ -248,3 +248,44 @@ class TestSerialization:
     @given(st.text(max_size=200))
     def test_str_property(self, text):
         assert decode_str(encode_str(text)) == text
+
+
+class TestDiskStatsLockedReads:
+    """Regression tests for RL001 fixes: counter reads that used to peek
+    at ``stats``/``_used`` without the disk lock now snapshot under it."""
+
+    def test_simulated_io_ms_default_snapshots_own_stats(self):
+        disk = SimulatedDisk(page_size=16, read_latency_ms=5.0, write_latency_ms=7.0)
+        page = disk.allocate()
+        disk.write_page(page, b"x" * 16)
+        disk.read_page(page)
+        assert disk.simulated_io_ms() == 5.0 + 7.0
+        # Explicit stats still win over the internal counters.
+        assert disk.simulated_io_ms(disk.snapshot()) == disk.simulated_io_ms()
+
+    def test_num_pages_and_repr_while_writing(self):
+        import threading
+
+        disk = SimulatedDisk(page_size=16)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def observer():
+            try:
+                while not stop.is_set():
+                    assert disk.num_pages >= 0
+                    assert "SimulatedDisk(" in repr(disk)
+                    disk.simulated_io_ms()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        t = threading.Thread(target=observer)
+        t.start()
+        for _ in range(200):
+            page = disk.allocate()
+            disk.write_page(page, b"y" * 16)
+        stop.set()
+        t.join()
+        assert errors == []
+        assert disk.num_pages == 200
+        assert disk.snapshot().page_writes == 200

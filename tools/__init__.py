@@ -1,0 +1,1 @@
+"""Developer tooling for the repro codebase (not shipped with the package)."""

@@ -1,0 +1,432 @@
+"""Framework core for repro-lint: source model, rule registry, baseline.
+
+Design notes
+------------
+Every rule sees the whole :class:`Project` (all parsed files) rather than
+one file at a time, because several invariants are inherently
+cross-file: RL003 walks dataclass annotations across modules, RL004
+cross-checks the executor registry against the router, the CLI and the
+docs.  Per-file rules simply iterate ``project.files``.
+
+Comments are recovered with :mod:`tokenize` (the ``ast`` module drops
+them) and indexed by line so that rules can look up ``# guarded_by:``
+declarations, ``# repro-lint: holds=`` method annotations and
+``# repro-lint: disable=`` suppressions in O(1).
+
+Baselines fingerprint findings by ``(rule, path, message)`` — without
+line numbers — so that unrelated edits shifting code around do not churn
+the baseline file.  Each baseline entry carries a free-form
+``justification`` string; the committed baseline doubles as the ledger
+of grandfathered debt.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+JSON_SCHEMA_VERSION = 1
+
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s|]+)")
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    severity: str
+    path: str  # POSIX-style, relative to the scan root where possible
+    line: int
+    col: int
+    message: str
+    # First line of the enclosing statement, when the finding sits inside a
+    # multi-line statement: suppressions there cover the whole statement.
+    # Not part of the JSON schema or the baseline fingerprint.
+    anchor_line: Optional[int] = field(default=None, compare=False)
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.rule}|{self.path}|{self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+
+class SourceFile:
+    """A parsed Python source file plus its comment/suppression index."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        # line -> full comment text (including the leading '#')
+        self.comments: Dict[int, str] = {}
+        # line -> set of rule ids disabled there ("all" disables everything)
+        self.suppressions: Dict[int, Set[str]] = {}
+        try:
+            self.tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:  # pragma: no cover - exercised via fixtures
+            self.parse_error = exc
+        self._index_comments()
+
+    def _index_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    line = tok.start[0]
+                    existing = self.comments.get(line)
+                    self.comments[line] = (existing + " " + tok.string) if existing else tok.string
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            # Fall back to a crude per-line scan; good enough for comments
+            # that start a line or follow code without embedded '#' strings.
+            for i, raw in enumerate(self.lines, start=1):
+                stripped = raw.lstrip()
+                if stripped.startswith("#"):
+                    self.comments[i] = stripped
+        for line, comment in self.comments.items():
+            m = _DISABLE_RE.search(comment)
+            if m:
+                rules = {
+                    part.strip().upper() if part.strip().lower() != "all" else "all"
+                    for part in re.split(r"[,|]", m.group(1))
+                    if part.strip()
+                }
+                self.suppressions[line] = rules
+
+    def comment_on(self, line: int) -> str:
+        """Comment text attached to *line* (empty string when none)."""
+        return self.comments.get(line, "")
+
+    def comment_in_range(self, start: int, end: int) -> str:
+        """Concatenated comments over an inclusive line range."""
+        parts = [self.comments[i] for i in range(start, end + 1) if i in self.comments]
+        return " ".join(parts)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True if *rule* is disabled on *line* or on a comment-only line
+        immediately above it."""
+        for candidate in (line, line - 1):
+            rules = self.suppressions.get(candidate)
+            if not rules:
+                continue
+            if candidate == line - 1:
+                # Only honor the previous line when it is a pure comment
+                # line; otherwise a disable on an unrelated statement
+                # would leak downward.
+                raw = self.lines[candidate - 1].lstrip() if candidate - 1 < len(self.lines) else ""
+                if not raw.startswith("#"):
+                    continue
+            if "all" in rules or rule.upper() in rules:
+                return True
+        return False
+
+
+class Project:
+    """All source files under the scanned paths, plus lookup helpers."""
+
+    def __init__(self, files: Sequence[SourceFile], roots: Sequence[Path]) -> None:
+        self.files = list(files)
+        self.roots = list(roots)
+        self._by_rel = {f.rel: f for f in self.files}
+
+    def find(self, suffix: str) -> Optional[SourceFile]:
+        """First file whose relative path ends with *suffix*."""
+        norm = suffix.replace("\\", "/")
+        for f in self.files:
+            if f.rel == norm or f.rel.endswith("/" + norm) or f.rel.endswith(norm):
+                return f
+        return None
+
+    def iter_parsed(self) -> Iterator[SourceFile]:
+        for f in self.files:
+            if f.tree is not None:
+                yield f
+
+
+class Rule:
+    """Base class for checkers.  Subclasses set id/name/severity and
+    implement :meth:`check`."""
+
+    id: str = "RL000"
+    name: str = "unnamed"
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self,
+        src: SourceFile,
+        line: int,
+        col: int,
+        message: str,
+        anchor: Optional[int] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=src.rel,
+            line=line,
+            col=col,
+            message=message,
+            anchor_line=anchor,
+        )
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator adding a rule to the global registry."""
+    rule = cls()
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"rule {rule.id}: bad severity {rule.severity!r}")
+    _RULES[rule.id] = rule
+    return cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    _ensure_rules_loaded()
+    return dict(_RULES)
+
+
+def _ensure_rules_loaded() -> None:
+    # Import for side effect: each rule module registers itself.
+    from tools.repro_lint import rules  # noqa: F401
+
+
+# ---------------------------------------------------------------------------
+# Parent-pointer walking (ast has no parent links)
+# ---------------------------------------------------------------------------
+
+
+def attach_parents(tree: ast.AST) -> None:
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._repro_parent = parent  # type: ignore[attr-defined]
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    cur = getattr(node, "_repro_parent", None)
+    while cur is not None:
+        yield cur
+        cur = getattr(cur, "_repro_parent", None)
+
+
+def enclosing_statement_line(node: ast.AST) -> int:
+    """Line of the outermost simple statement containing *node* — used so a
+    suppression on the first line of a multi-line statement covers the
+    whole statement."""
+    for anc in ancestors(node):
+        if isinstance(anc, ast.stmt):
+            return getattr(anc, "lineno", getattr(node, "lineno", 1))
+    return getattr(node, "lineno", 1)
+
+
+# ---------------------------------------------------------------------------
+# File discovery / engine
+# ---------------------------------------------------------------------------
+
+
+def _discover(paths: Sequence[str]) -> List[Tuple[Path, str]]:
+    out: List[Tuple[Path, str]] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file() and p.suffix == ".py":
+            rp = p.resolve()
+            if rp not in seen:
+                seen.add(rp)
+                out.append((p, p.as_posix()))
+        elif p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if "__pycache__" in f.parts:
+                    continue
+                rf = f.resolve()
+                if rf not in seen:
+                    seen.add(rf)
+                    out.append((f, f.as_posix()))
+    return out
+
+
+def build_project(paths: Sequence[str]) -> Project:
+    files: List[SourceFile] = []
+    for path, rel in _discover(paths):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):  # pragma: no cover - defensive
+            continue
+        src = SourceFile(path, rel, text)
+        if src.tree is not None:
+            attach_parents(src.tree)
+        files.append(src)
+    return Project(files, [Path(p) for p in paths])
+
+
+def run_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+) -> Tuple[Project, List[Finding]]:
+    """Scan *paths* with the selected rules (default: all registered).
+
+    Returns the project and findings sorted by (path, line, rule), with
+    inline suppressions already applied.  Syntax errors surface as
+    RL000 findings so broken files fail the gate rather than being
+    silently skipped.
+    """
+    _ensure_rules_loaded()
+    project = build_project(paths)
+    wanted = {s.upper() for s in select} if select else None
+    findings: List[Finding] = []
+    for src in project.files:
+        if src.parse_error is not None:
+            findings.append(
+                Finding(
+                    rule="RL000",
+                    severity="error",
+                    path=src.rel,
+                    line=src.parse_error.lineno or 1,
+                    col=(src.parse_error.offset or 1) - 1,
+                    message=f"syntax error: {src.parse_error.msg}",
+                )
+            )
+    for rule_id, rule in sorted(_RULES.items()):
+        if wanted is not None and rule_id not in wanted:
+            continue
+        for f in rule.check(project):
+            src = project._by_rel.get(f.path)
+            if src is not None and src.is_suppressed(f.rule, f.line):
+                continue
+            if (
+                src is not None
+                and f.anchor_line is not None
+                and f.anchor_line != f.line
+                and src.is_suppressed(f.rule, f.anchor_line)
+            ):
+                continue
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return project, findings
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings: fingerprint -> allowed count."""
+
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def allowed(self, fingerprint: str) -> int:
+        entry = self.entries.get(fingerprint)
+        if not entry:
+            return 0
+        return int(entry.get("count", 1))
+
+
+def load_baseline(path: Path) -> Baseline:
+    if not path.exists():
+        return Baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries: Dict[str, Dict[str, object]] = {}
+    for item in data.get("findings", []):
+        fp = f"{item['rule']}|{item['path']}|{item['message']}"
+        entries[fp] = {
+            "count": int(item.get("count", 1)),
+            "justification": item.get("justification", ""),
+        }
+    return Baseline(entries)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    counts: Counter = Counter(f.fingerprint() for f in findings)
+    reps: Dict[str, Finding] = {}
+    for f in findings:
+        reps.setdefault(f.fingerprint(), f)
+    items = []
+    for fp, count in sorted(counts.items()):
+        f = reps[fp]
+        items.append(
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "count": count,
+                "justification": "",
+            }
+        )
+    payload = {"version": JSON_SCHEMA_VERSION, "findings": items}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Baseline) -> List[Finding]:
+    """Return the findings NOT covered by the baseline."""
+    budget = {fp: baseline.allowed(fp) for fp in {f.fingerprint() for f in findings}}
+    fresh: List[Finding] = []
+    for f in findings:
+        fp = f.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+        else:
+            fresh.append(f)
+    return fresh
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def report_json(project: Project, findings: Sequence[Finding]) -> Dict[str, object]:
+    by_rule: Counter = Counter(f.rule for f in findings)
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": len(project.files),
+        "findings": [f.to_json() for f in findings],
+        "summary": {
+            "total": len(findings),
+            "errors": sum(1 for f in findings if f.severity == "error"),
+            "warnings": sum(1 for f in findings if f.severity == "warning"),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+
+
+def report_text(project: Project, findings: Sequence[Finding]) -> str:
+    lines = [f.render() for f in findings]
+    lines.append(
+        f"repro-lint: {len(findings)} finding(s) in {len(project.files)} file(s)"
+        if findings
+        else f"repro-lint: clean ({len(project.files)} file(s) scanned)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,9 @@
+"""Rule modules register themselves on import via ``@register_rule``."""
+
+from tools.repro_lint.rules import (  # noqa: F401
+    rl001_locks,
+    rl002_io,
+    rl003_spawn,
+    rl004_registry,
+    rl005_deprecation,
+)

@@ -1,0 +1,174 @@
+"""RL001 — lock discipline.
+
+A field assigned in ``__init__`` with a trailing ``# guarded_by: <lock>``
+comment may only be read or written:
+
+* inside a ``with self.<lock>:`` block (any enclosing ``with`` whose
+  context expression is exactly ``self.<lock>``), or
+* inside a method annotated ``# repro-lint: holds=<lock>`` on the
+  ``def`` line (or the comment line directly above the ``def`` /
+  first decorator), or
+* inside ``__init__`` itself (construction happens before the object
+  escapes to other threads).
+
+The declaration comment may name the lock as ``_lock`` or
+``self._lock``.  Multiple locks can be stacked by separating holds
+annotations with commas: ``# repro-lint: holds=_lock,_tail_lock``.
+
+This is a purely intra-class analysis: accesses through other objects
+(``other._field``) and aliased locks (``lk = self._lock; with lk:``)
+are out of scope by design — the codebase does not use those shapes
+for guarded fields, and the annotations in src/repro keep it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.repro_lint.core import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    ancestors,
+    enclosing_statement_line,
+    register_rule,
+)
+
+GUARDED_RE = re.compile(r"#\s*guarded_by:\s*(?:self\.)?([A-Za-z_]\w*)")
+HOLDS_RE = re.compile(r"#\s*repro-lint:\s*holds=((?:(?:self\.)?[A-Za-z_]\w*)(?:\s*,\s*(?:self\.)?[A-Za-z_]\w*)*)")
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """Return F when *node* is ``self.F``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _guarded_fields(src: SourceFile, cls: ast.ClassDef) -> Dict[str, Tuple[str, int]]:
+    """Map field name -> (lock name, declaration line) from ``__init__``."""
+    out: Dict[str, Tuple[str, int]] = {}
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            for stmt in ast.walk(item):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                names = [f for f in (_self_attr(t) for t in targets) if f]
+                if not names:
+                    continue
+                end = getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno
+                comment = src.comment_in_range(stmt.lineno, end)
+                m = GUARDED_RE.search(comment)
+                if m:
+                    for name in names:
+                        out[name] = (m.group(1), stmt.lineno)
+            break
+    return out
+
+
+def _held_locks(src: SourceFile, fn: ast.FunctionDef) -> Set[str]:
+    """Locks declared held via ``# repro-lint: holds=`` on/above the def."""
+    first = fn.decorator_list[0].lineno if fn.decorator_list else fn.lineno
+    comment = src.comment_in_range(first - 1, fn.lineno)
+    held: Set[str] = set()
+    for m in HOLDS_RE.finditer(comment):
+        for part in m.group(1).split(","):
+            held.add(part.strip().removeprefix("self."))
+    return held
+
+
+def _with_locks(node: ast.AST, stop_at: ast.AST) -> Set[str]:
+    """Locks held via enclosing ``with self.<lock>:`` blocks between
+    *node* and the enclosing function *stop_at*."""
+    held: Set[str] = set()
+    for anc in ancestors(node):
+        if anc is stop_at:
+            break
+        if isinstance(anc, (ast.With, ast.AsyncWith)):
+            for item in anc.items:
+                lock = _self_attr(item.context_expr)
+                if lock:
+                    held.add(lock)
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+    return held
+
+
+def _enclosing_function(node: ast.AST) -> Optional[ast.FunctionDef]:
+    for anc in ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return anc  # type: ignore[return-value]
+    return None
+
+
+@register_rule
+class LockDiscipline(Rule):
+    id = "RL001"
+    name = "lock-discipline"
+    severity = "error"
+    description = (
+        "fields declared '# guarded_by: <lock>' must be accessed under "
+        "'with self.<lock>:' or in a method annotated "
+        "'# repro-lint: holds=<lock>'"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for src in project.iter_parsed():
+            assert src.tree is not None
+            for cls in [n for n in ast.walk(src.tree) if isinstance(n, ast.ClassDef)]:
+                guarded = _guarded_fields(src, cls)
+                if not guarded:
+                    continue
+                yield from self._check_class(src, cls, guarded)
+
+    def _check_class(
+        self,
+        src: SourceFile,
+        cls: ast.ClassDef,
+        guarded: Dict[str, Tuple[str, int]],
+    ) -> Iterator[Finding]:
+        methods = [
+            n
+            for n in cls.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for fn in methods:
+            if fn.name == "__init__":
+                continue
+            held_by_annotation = _held_locks(src, fn)
+            for node in ast.walk(fn):
+                name = _self_attr(node)
+                if name is None or name not in guarded:
+                    continue
+                lock, _decl_line = guarded[name]
+                # Accessing the lock object itself is always fine.
+                if name == lock:
+                    continue
+                enclosing = _enclosing_function(node)
+                fn_held = (
+                    _held_locks(src, enclosing)
+                    if enclosing is not None and enclosing is not fn
+                    else held_by_annotation
+                )
+                if lock in fn_held:
+                    continue
+                if lock in _with_locks(node, fn):
+                    continue
+                ctx = getattr(node, "ctx", None)
+                verb = "written" if isinstance(ctx, (ast.Store, ast.Del)) else "read"
+                yield self.finding(
+                    src,
+                    node.lineno,
+                    node.col_offset,
+                    f"self.{name} is guarded by self.{lock} but {verb} in "
+                    f"{cls.name}.{fn.name} without holding it",
+                    anchor=enclosing_statement_line(node),
+                )

@@ -1,0 +1,208 @@
+"""RL003 — spawn safety of serving payloads.
+
+Shard worker processes are started with the ``spawn`` method, so every
+payload dataclass shipped to a worker must pickle cleanly and must not
+smuggle a reference back into the parent engine.  This rule discovers
+payload dataclasses in ``serving/`` modules — any ``@dataclass`` whose
+name ends in ``Payload`` or that carries a ``# repro-lint: payload``
+comment on/above its ``class`` line — then transitively walks the
+annotated types of their fields (following other project dataclasses by
+name) and flags:
+
+* fields whose annotation mentions a lock/thread/executor/queue type,
+* weakref types (dead on arrival after pickling),
+* ``Callable`` / ``lambda`` values (unpicklable or identity-breaking),
+* back-references to engine/service/client/index/storage objects
+  (defeats process isolation and ships unpicklable lock state), and
+* unannotated class-body assignments (not dataclass fields — silent
+  contract drift).
+
+The denylist is intentionally name-based: payloads are plain-data by
+construction (dicts, tuples, bytes, ints), so any appearance of these
+names in an annotation is a bug, not a style issue.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.repro_lint.core import Finding, Project, Rule, SourceFile, register_rule
+
+PAYLOAD_MARK_RE = re.compile(r"#\s*repro-lint:\s*payload\b")
+
+DENY_EXACT = frozenset(
+    {
+        # concurrency primitives — unpicklable or meaningless across spawn
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "Thread",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "Future",
+        "Queue",
+        "SimpleQueue",
+        # weakrefs die on pickling
+        "weakref",
+        "ref",
+        "ReferenceType",
+        "WeakMethod",
+        "WeakValueDictionary",
+        "WeakKeyDictionary",
+        "WeakSet",
+        # callables can't be shipped reliably under spawn
+        "Callable",
+        "FunctionType",
+        "LambdaType",
+        # engine back-references: process isolation + embedded locks
+        "ReachabilityEngine",
+        "ShardedEngine",
+        "QueryService",
+        "ReachabilityClient",
+        "BatchStream",
+        "STIndex",
+        "ConnectionIndex",
+        "SimulatedDisk",
+        "BufferPool",
+        "PageStore",
+        "RegionCache",
+        "ExecutionContext",
+    }
+)
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _annotation_names(node: ast.AST) -> Set[str]:
+    """All identifier tokens appearing in an annotation expression,
+    including names inside string ("forward reference") annotations."""
+    names: Set[str] = set()
+    stack: List[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, ast.Name):
+            names.add(cur.id)
+        elif isinstance(cur, ast.Attribute):
+            names.add(cur.attr)
+            stack.append(cur.value)
+        elif isinstance(cur, ast.Constant) and isinstance(cur.value, str):
+            try:
+                stack.append(ast.parse(cur.value, mode="eval").body)
+            except SyntaxError:
+                names.update(re.findall(r"[A-Za-z_]\w*", cur.value))
+        else:
+            stack.extend(ast.iter_child_nodes(cur))
+    return names
+
+
+def _class_map(project: Project) -> Dict[str, Tuple[SourceFile, ast.ClassDef]]:
+    """Project-wide map of dataclass name -> definition (first wins)."""
+    out: Dict[str, Tuple[SourceFile, ast.ClassDef]] = {}
+    for src in project.iter_parsed():
+        assert src.tree is not None
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                out.setdefault(node.name, (src, node))
+    return out
+
+
+def _payload_classes(project: Project) -> List[Tuple[SourceFile, ast.ClassDef]]:
+    found: List[Tuple[SourceFile, ast.ClassDef]] = []
+    for src in project.iter_parsed():
+        if "/serving/" not in "/" + src.rel.replace("\\", "/"):
+            continue
+        assert src.tree is not None
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            first = node.decorator_list[0].lineno if node.decorator_list else node.lineno
+            comment = src.comment_in_range(first - 1, node.lineno)
+            if node.name.endswith("Payload") or PAYLOAD_MARK_RE.search(comment):
+                found.append((src, node))
+    return found
+
+
+@register_rule
+class SpawnSafety(Rule):
+    id = "RL003"
+    name = "spawn-safety"
+    severity = "error"
+    description = (
+        "serving payload dataclasses must stay plain picklable data: no "
+        "locks, threads, weakrefs, callables, or engine back-references "
+        "(checked transitively through annotated dataclass fields)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        classes = _class_map(project)
+        for src, cls in _payload_classes(project):
+            yield from self._check_payload(src, cls, classes, chain=(cls.name,), seen=set())
+
+    def _check_payload(
+        self,
+        src: SourceFile,
+        cls: ast.ClassDef,
+        classes: Dict[str, Tuple[SourceFile, ast.ClassDef]],
+        chain: Tuple[str, ...],
+        seen: Set[str],
+    ) -> Iterator[Finding]:
+        if cls.name in seen:
+            return
+        seen.add(cls.name)
+        via = "" if len(chain) == 1 else f" (reached via {' -> '.join(chain)})"
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                field_name = stmt.target.id
+                names = _annotation_names(stmt.annotation)
+                bad = sorted(names & DENY_EXACT)
+                if bad:
+                    yield self.finding(
+                        src,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"payload field {cls.name}.{field_name} has spawn-unsafe "
+                        f"type {'/'.join(bad)}{via}",
+                    )
+                if stmt.value is not None and any(
+                    isinstance(n, ast.Lambda) for n in ast.walk(stmt.value)
+                ):
+                    yield self.finding(
+                        src,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"payload field {cls.name}.{field_name} has a lambda "
+                        f"default — unpicklable under spawn{via}",
+                    )
+                # Recurse into project dataclasses referenced by the annotation.
+                for name in sorted(names):
+                    entry = classes.get(name)
+                    if entry is not None and name not in chain:
+                        nested_src, nested_cls = entry
+                        yield from self._check_payload(
+                            nested_src, nested_cls, classes, chain + (name,), seen
+                        )
+            elif isinstance(stmt, ast.Assign) and len(chain) == 1:
+                targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+                plain = [t for t in targets if not t.startswith("__")]
+                if plain:
+                    yield self.finding(
+                        src,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"unannotated assignment {cls.name}.{plain[0]} in payload "
+                        "body — not a dataclass field; annotate it or move it out",
+                    )

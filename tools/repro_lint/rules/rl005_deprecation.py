@@ -1,0 +1,190 @@
+"""RL005 — deprecation firewall.
+
+``ReachabilityEngine.s_query/m_query/r_query`` and
+``QueryService.query/s_query/m_query/r_query`` are deprecated
+compatibility shims kept alive for external callers.  Internal code in
+``src/repro/`` must use ``Request``/``execute`` so the shims can be
+removed without an archaeology pass.  This rule flags:
+
+* any ``.s_query(`` / ``.m_query(`` / ``.r_query(`` attribute call in
+  ``src/repro`` (the shim *definitions* are ``def`` statements, not
+  calls, so they do not trip the rule), and
+* ``.query(`` calls whose receiver looks like a service
+  (a name containing ``service`` or an attribute named ``service``),
+  which is the ``QueryService.query`` shim.
+
+It also keeps ``__all__`` honest in modules that declare one:
+
+* every name listed in ``__all__`` must be defined or imported at
+  module top level, and
+* every public (non-underscore) top-level ``def``/``class`` defined in
+  the module must appear in ``__all__`` (imports are exempt — modules
+  may re-export selectively).
+
+The second check is a warning: it signals drift, not breakage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from tools.repro_lint.core import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    enclosing_statement_line,
+    register_rule,
+)
+
+SHIM_METHODS = frozenset({"s_query", "m_query", "r_query"})
+
+
+def _in_src_repro(rel: str) -> bool:
+    norm = "/" + rel.replace("\\", "/")
+    return "/src/repro/" in norm or norm.startswith("/repro/")
+
+
+def _servicey_receiver(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return "service" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "service" in node.attr.lower()
+    return False
+
+
+def _top_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level (defs, classes, assignments,
+    imports), including conditional branches one level down."""
+    names: Set[str] = set()
+
+    def collect(body: List[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for t in stmt.targets:
+                    if isinstance(t, ast.Name):
+                        names.add(t.id)
+                    elif isinstance(t, (ast.Tuple, ast.List)):
+                        for e in t.elts:
+                            if isinstance(e, ast.Name):
+                                names.add(e.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                collect(stmt.body)
+                for handler in getattr(stmt, "handlers", []):
+                    collect(handler.body)
+                collect(stmt.orelse)
+                collect(getattr(stmt, "finalbody", []))
+
+    collect(tree.body)
+    return names
+
+
+def _module_all(tree: ast.Module) -> Optional[ast.Assign]:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            return stmt
+    return None
+
+
+@register_rule
+class DeprecationFirewall(Rule):
+    id = "RL005"
+    name = "deprecation-firewall"
+    severity = "error"
+    description = (
+        "internal code must not call the deprecated s_query/m_query/r_query/"
+        "QueryService.query shims; __all__ must match defined exports"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for src in project.iter_parsed():
+            assert src.tree is not None
+            yield from self._check_shim_calls(src)
+            yield from self._check_all(src)
+
+    def _check_shim_calls(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):  # type: ignore[arg-type]
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            attr = node.func.attr
+            if attr in SHIM_METHODS:
+                yield self.finding(
+                    src,
+                    node.lineno,
+                    node.col_offset,
+                    f"call to deprecated shim .{attr}(); use a Request envelope "
+                    "with execute()/submit() instead",
+                    anchor=enclosing_statement_line(node),
+                )
+            elif attr == "query" and _servicey_receiver(node.func.value):
+                yield self.finding(
+                    src,
+                    node.lineno,
+                    node.col_offset,
+                    "call to deprecated QueryService.query(); use "
+                    "QueryService.execute(Request(...)) instead",
+                    anchor=enclosing_statement_line(node),
+                )
+
+    def _check_all(self, src: SourceFile) -> Iterator[Finding]:
+        tree = src.tree
+        assert tree is not None
+        all_assign = _module_all(tree)
+        if all_assign is None:
+            return
+        value = all_assign.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return
+        exported: List[str] = [
+            e.value for e in value.elts if isinstance(e, ast.Constant) and isinstance(e.value, str)
+        ]
+        defined = _top_level_names(tree)
+        for name in exported:
+            if name not in defined:
+                yield self.finding(
+                    src,
+                    all_assign.lineno,
+                    all_assign.col_offset,
+                    f"__all__ exports {name!r}, which is not defined or "
+                    "imported at module top level",
+                )
+        exported_set = set(exported)
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and not stmt.name.startswith("_")
+                and stmt.name not in exported_set
+            ):
+                yield Finding(
+                    rule=self.id,
+                    severity="warning",
+                    path=src.rel,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    message=(
+                        f"public {'class' if isinstance(stmt, ast.ClassDef) else 'function'} "
+                        f"{stmt.name!r} is not listed in __all__"
+                    ),
+                )
+        seen: Set[str] = set()
+        for name in exported:
+            if name in seen:
+                yield self.finding(
+                    src,
+                    all_assign.lineno,
+                    all_assign.col_offset,
+                    f"__all__ lists {name!r} more than once",
+                )
+            seen.add(name)
