@@ -1,0 +1,47 @@
+"""Client-API equivalents of the retired engine facade, for benchmarks.
+
+The figure benchmarks measure the paper's cold one-call-per-query
+protocol.  They used to go through the deprecated
+``ReachabilityEngine.s_query``/``m_query`` shims; these helpers issue
+the same executions through :class:`repro.api.ReachabilityClient` with
+explicit algorithms (a benchmark must pin what it measures — no
+auto-routing) and ``reuse_regions=False`` so repeated sweep points pay
+their own bounding-region work, exactly like the old facade did.
+"""
+
+from __future__ import annotations
+
+from repro.api import QueryOptions, Request
+
+__all__ = ["m_query", "r_query", "s_query"]
+
+
+def _cold_send(client, query, algorithm, delta_t_s, warm, direction):
+    response = client.send(
+        Request(
+            query,
+            QueryOptions(
+                direction=direction,
+                algorithm=algorithm,
+                delta_t_s=delta_t_s,
+                warm=warm,
+                reuse_regions=False,
+            ),
+        )
+    )
+    return response.result
+
+
+def s_query(client, query, algorithm="sqmb_tbs", delta_t_s=None, warm=False):
+    """One single-location query, cold by default (the paper's protocol)."""
+    return _cold_send(client, query, algorithm, delta_t_s, warm, "forward")
+
+
+def m_query(client, query, algorithm="mqmb_tbs", delta_t_s=None, warm=False):
+    """One multi-location query, cold by default."""
+    return _cold_send(client, query, algorithm, delta_t_s, warm, "forward")
+
+
+def r_query(client, query, algorithm="sqmb_tbs", delta_t_s=None, warm=False):
+    """One reverse (who-can-reach-me) query, cold by default."""
+    return _cold_send(client, query, algorithm, delta_t_s, warm, "reverse")

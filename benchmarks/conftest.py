@@ -1,9 +1,13 @@
-"""Shared benchmark fixtures: engines over the benchmark datasets.
+"""Shared benchmark fixtures: engines and clients over the benchmark
+datasets.
 
 Datasets and indexes are built once per session; each figure module then
 runs its parameter sweep, prints the paper-style series, writes it to
 ``benchmarks/results/`` and feeds one representative query per curve to
-pytest-benchmark.
+pytest-benchmark.  All query execution goes through the
+:class:`~repro.api.client.ReachabilityClient` API (see
+``client_protocol.py`` for the cold per-query helpers); the legacy
+engine shims are linter-gated out of this tree.
 """
 
 from __future__ import annotations
@@ -12,23 +16,14 @@ from pathlib import Path
 
 import pytest
 
+from client_protocol import s_query
+from repro.api.client import ReachabilityClient
 from repro.core.engine import ReachabilityEngine
 from repro.core.query import SQuery
 from repro.datasets.shenzhen_like import default_dataset
 from repro.eval.config import DEFAULT_SETTINGS, SMALL_SETTINGS
 
 RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def pytest_configure(config):
-    # The figure benchmarks deliberately measure the classic engine
-    # facade (the paper's cold one-call-per-query protocol); its
-    # deprecation in favour of the client API is intentional noise here,
-    # and thousands of per-call warnings would drown real ones.
-    config.addinivalue_line(
-        "filterwarnings",
-        "ignore:.*deprecated. build a repro.api.Request.*:DeprecationWarning",
-    )
 
 
 @pytest.fixture(scope="session")
@@ -46,16 +41,25 @@ def bench_engine(bench_dataset):
     engine.st_index(DEFAULT_SETTINGS.delta_t_s)
     # Warm the downtown con-index entries for the default start time by
     # running the longest default query once.
-    engine.s_query(
-        SQuery(
-            DEFAULT_SETTINGS.location,
-            DEFAULT_SETTINGS.start_time_s,
-            35 * 60,
-            DEFAULT_SETTINGS.prob,
-        ),
-        delta_t_s=DEFAULT_SETTINGS.delta_t_s,
-    )
+    with ReachabilityClient(engine) as warmer:
+        s_query(
+            warmer,
+            SQuery(
+                DEFAULT_SETTINGS.location,
+                DEFAULT_SETTINGS.start_time_s,
+                35 * 60,
+                DEFAULT_SETTINGS.prob,
+            ),
+            delta_t_s=DEFAULT_SETTINGS.delta_t_s,
+        )
     return engine
+
+
+@pytest.fixture(scope="session")
+def bench_client(bench_engine):
+    """Session client over the benchmark engine (cold-protocol sends)."""
+    with ReachabilityClient(bench_engine) as client:
+        yield client
 
 
 @pytest.fixture(scope="session")
@@ -69,6 +73,12 @@ def small_engine(small_dataset):
     engine = ReachabilityEngine(small_dataset.network, small_dataset.database)
     engine.st_index(SMALL_SETTINGS.delta_t_s)
     return engine
+
+
+@pytest.fixture(scope="session")
+def small_client(small_engine):
+    with ReachabilityClient(small_engine) as client:
+        yield client
 
 
 @pytest.fixture(scope="session")

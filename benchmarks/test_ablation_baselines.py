@@ -7,6 +7,7 @@ stronger baseline — i.e. how much is due to the Con-Index bounds rather
 than to the weak baseline.
 """
 
+from client_protocol import s_query
 from repro.core.query import SQuery
 from repro.eval import config
 from repro.eval.tables import format_table
@@ -21,12 +22,12 @@ def _query(minutes: int) -> SQuery:
     )
 
 
-def test_ablation_baseline_strength(bench_engine, benchmark, emit):
+def test_ablation_baseline_strength(bench_client, benchmark, emit):
     rows = []
     for minutes in (10, 20, 35):
-        ours = bench_engine.s_query(_query(minutes), algorithm="sqmb_tbs")
-        pruned = bench_engine.s_query(_query(minutes), algorithm="es_pruned")
-        full = bench_engine.s_query(_query(minutes), algorithm="es")
+        ours = s_query(bench_client, _query(minutes), algorithm="sqmb_tbs")
+        pruned = s_query(bench_client, _query(minutes), algorithm="es_pruned")
+        full = s_query(bench_client, _query(minutes), algorithm="es")
         rows.append(
             (
                 f"L={minutes}min",
@@ -42,7 +43,7 @@ def test_ablation_baseline_strength(bench_engine, benchmark, emit):
         format_table("Ablation — baseline strength (running time)", rows),
     )
     result = benchmark.pedantic(
-        lambda: bench_engine.s_query(_query(10), algorithm="es_pruned"),
+        lambda: s_query(bench_client, _query(10), algorithm="es_pruned"),
         rounds=3, iterations=1, warmup_rounds=1,
     )
     assert result.segments

@@ -6,6 +6,8 @@ nearly cache-insensitive.  This ablation sweeps the pool size and reports
 cold-query disk reads for both algorithms.
 """
 
+from client_protocol import s_query
+from repro.api.client import ReachabilityClient
 from repro.core.engine import ReachabilityEngine
 from repro.core.query import SQuery
 from repro.eval import config
@@ -28,8 +30,9 @@ def test_ablation_bufferpool(bench_dataset, benchmark, emit):
             buffer_pool_pages=capacity,
         )
         engine.st_index(config.DEFAULT_SETTINGS.delta_t_s)
-        ours = engine.s_query(query)
-        baseline = engine.s_query(query, algorithm="es")
+        with ReachabilityClient(engine) as client:
+            ours = s_query(client, query)
+            baseline = s_query(client, query, algorithm="es")
         reads[capacity] = (ours.cost.io.page_reads, baseline.cost.io.page_reads)
         rows.append(
             (
@@ -53,6 +56,7 @@ def test_ablation_bufferpool(bench_dataset, benchmark, emit):
         bench_dataset.network, bench_dataset.database, buffer_pool_pages=64
     )
     engine.st_index(config.DEFAULT_SETTINGS.delta_t_s)
-    engine.s_query(query)
-    result = benchmark(lambda: engine.s_query(query))
+    with ReachabilityClient(engine) as client:
+        s_query(client, query)
+        result = benchmark(lambda: s_query(client, query))
     assert isinstance(result.segments, set)

@@ -7,6 +7,7 @@
 
 import pytest
 
+from client_protocol import s_query
 from repro.core.query import SQuery
 from repro.eval import config
 from repro.eval.runner import run_duration_sweep
@@ -80,18 +81,18 @@ def test_fig41_length_insensitive_to_delta_t(sweep):
             assert d10[x] == pytest.approx(d5[x], rel=0.8)
 
 
-def test_bench_sqmb_tbs_duration(bench_engine, benchmark, sweep):
+def test_bench_sqmb_tbs_duration(bench_client, benchmark, sweep):
     query = SQuery(
         config.CENTER_LOCATION,
         config.DEFAULT_SETTINGS.start_time_s,
         600,
         config.DEFAULT_SETTINGS.prob,
     )
-    result = benchmark(lambda: bench_engine.s_query(query, algorithm="sqmb_tbs"))
+    result = benchmark(lambda: s_query(bench_client, query, algorithm="sqmb_tbs"))
     assert result.segments
 
 
-def test_bench_es_duration(bench_engine, benchmark, sweep):
+def test_bench_es_duration(bench_client, benchmark, sweep):
     query = SQuery(
         config.CENTER_LOCATION,
         config.DEFAULT_SETTINGS.start_time_s,
@@ -99,7 +100,7 @@ def test_bench_es_duration(bench_engine, benchmark, sweep):
         config.DEFAULT_SETTINGS.prob,
     )
     result = benchmark.pedantic(
-        lambda: bench_engine.s_query(query, algorithm="es"),
+        lambda: s_query(bench_client, query, algorithm="es"),
         rounds=3, iterations=1, warmup_rounds=1,
     )
     assert result.segments

@@ -8,6 +8,7 @@ roads.
 
 from pathlib import Path
 
+from client_protocol import s_query
 from repro.core.query import SQuery
 from repro.eval import config
 from repro.network.model import RoadLevel
@@ -26,9 +27,9 @@ def _query(minutes: int) -> SQuery:
     )
 
 
-def test_fig42_region_maps(bench_engine, bench_dataset, benchmark, emit):
-    small = bench_engine.s_query(_query(5))
-    large = benchmark(lambda: bench_engine.s_query(_query(10)))
+def test_fig42_region_maps(bench_client, bench_dataset, benchmark, emit):
+    small = s_query(bench_client, _query(5))
+    large = benchmark(lambda: s_query(bench_client, _query(10)))
     art = []
     for minutes, result in ((5, small), (10, large)):
         art.append(f"Fig 4.2 — Prob=20%, L={minutes} min "

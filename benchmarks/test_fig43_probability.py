@@ -8,6 +8,7 @@
 
 import pytest
 
+from client_protocol import s_query
 from repro.core.query import SQuery
 from repro.eval import config
 from repro.eval.runner import run_probability_sweep
@@ -58,12 +59,12 @@ def test_fig43_shapes(sweep):
     assert lengths[0] > 0
 
 
-def test_bench_sqmb_tbs_high_prob(bench_engine, benchmark, sweep):
+def test_bench_sqmb_tbs_high_prob(bench_client, benchmark, sweep):
     query = SQuery(
         config.CENTER_LOCATION,
         config.DEFAULT_SETTINGS.start_time_s,
         600,
         0.8,
     )
-    result = benchmark(lambda: bench_engine.s_query(query))
+    result = benchmark(lambda: s_query(bench_client, query))
     assert isinstance(result.segments, set)

@@ -4,13 +4,14 @@ Expected shape: the region shrinks as Prob grows, losing low-speed local
 roads first while the primary-arterial skeleton persists.
 """
 
+from client_protocol import s_query
 from repro.core.query import SQuery
 from repro.eval import config
 from repro.network.model import RoadLevel
 from repro.viz.ascii_map import render_region
 
 
-def test_fig44_probability_maps(bench_engine, bench_dataset, benchmark, emit):
+def test_fig44_probability_maps(bench_client, bench_dataset, benchmark, emit):
     network = bench_dataset.network
     results = {}
     for prob in (0.2, 0.6, 0.8, 1.0):
@@ -20,9 +21,10 @@ def test_fig44_probability_maps(bench_engine, bench_dataset, benchmark, emit):
             600,
             prob,
         )
-        results[prob] = bench_engine.s_query(query)
+        results[prob] = s_query(bench_client, query)
     benchmark(
-        lambda: bench_engine.s_query(
+        lambda: s_query(
+            bench_client,
             SQuery(
                 config.CENTER_LOCATION,
                 config.DEFAULT_SETTINGS.start_time_s,

@@ -7,6 +7,7 @@
 
 import pytest
 
+from client_protocol import s_query
 from repro.core.query import SQuery
 from repro.eval import config
 from repro.eval.runner import run_start_time_sweep
@@ -70,7 +71,7 @@ def test_fig45_runtime_tracks_region(sweep):
     assert times[biggest] >= times[smallest]
 
 
-def test_bench_rush_hour_query(bench_engine, benchmark, sweep):
+def test_bench_rush_hour_query(bench_client, benchmark, sweep):
     query = SQuery(config.CENTER_LOCATION, day_time(18), 600, 0.2)
-    result = benchmark(lambda: bench_engine.s_query(query))
+    result = benchmark(lambda: s_query(bench_client, query))
     assert isinstance(result.segments, set)

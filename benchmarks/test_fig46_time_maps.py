@@ -5,21 +5,22 @@ concentrate on low-speed local roads while the highway skeleton stays
 comparatively stable.
 """
 
+from client_protocol import s_query
 from repro.core.query import SQuery
 from repro.eval import config
 from repro.trajectory.model import day_time
 from repro.viz.ascii_map import render_region
 
 
-def test_fig46_start_time_maps(bench_engine, bench_dataset, benchmark, emit):
+def test_fig46_start_time_maps(bench_client, bench_dataset, benchmark, emit):
     network = bench_dataset.network
     results = {}
     for hour in (1, 6, 12, 18):
         query = SQuery(config.CENTER_LOCATION, day_time(hour), 300, 0.8)
-        results[hour] = bench_engine.s_query(query)
+        results[hour] = s_query(bench_client, query)
     benchmark(
-        lambda: bench_engine.s_query(
-            SQuery(config.CENTER_LOCATION, day_time(12), 300, 0.8)
+        lambda: s_query(
+            bench_client, SQuery(config.CENTER_LOCATION, day_time(12), 300, 0.8)
         )
     )
     art = []

@@ -7,6 +7,7 @@ and is the most expensive index this suite builds.
 
 import pytest
 
+from client_protocol import s_query
 from repro.core.query import SQuery
 from repro.eval import config
 from repro.eval.runner import run_interval_sweep
@@ -51,7 +52,7 @@ def test_fig47_roughly_flat(sweep):
     assert max(ours) < 10 * max(min(ours), 1e-9)
 
 
-def test_bench_query_at_one_minute_granularity(small_engine, benchmark, sweep):
+def test_bench_query_at_one_minute_granularity(small_client, benchmark, sweep):
     query = SQuery(
         config.CENTER_LOCATION,
         config.DEFAULT_SETTINGS.start_time_s,
@@ -59,7 +60,7 @@ def test_bench_query_at_one_minute_granularity(small_engine, benchmark, sweep):
         0.2,
     )
     result = benchmark.pedantic(
-        lambda: small_engine.s_query(query, delta_t_s=60),
+        lambda: s_query(small_client, query, delta_t_s=60),
         rounds=3, iterations=1, warmup_rounds=1,
     )
     assert isinstance(result.segments, set)

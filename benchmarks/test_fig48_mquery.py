@@ -10,6 +10,7 @@
 
 import pytest
 
+from client_protocol import m_query
 from repro.core.query import MQuery
 from repro.eval import config
 from repro.eval.runner import run_location_count_sweep, run_mquery_duration_sweep
@@ -90,28 +91,28 @@ def test_fig48b_linear_vs_constant(count_sweep):
     assert ours[1] == pytest.approx(naive[1], rel=0.35)
 
 
-def test_fig48_region_agreement(bench_engine):
+def test_fig48_region_agreement(bench_client):
     query = MQuery(
         config.M_QUERY_LOCATIONS[:3], day_time(10), 1200, 0.2
     )
-    merged = bench_engine.m_query(query, algorithm="mqmb_tbs")
-    naive = bench_engine.m_query(query, algorithm="sqmb_tbs_each")
+    merged = m_query(bench_client, query, algorithm="mqmb_tbs")
+    naive = m_query(bench_client, query, algorithm="sqmb_tbs_each")
     union = merged.segments | naive.segments
     assert union
     jaccard = len(merged.segments & naive.segments) / len(union)
     assert jaccard >= 0.9
 
 
-def test_bench_mqmb_three_locations(bench_engine, benchmark, duration_sweep):
+def test_bench_mqmb_three_locations(bench_client, benchmark, duration_sweep):
     query = MQuery(config.M_QUERY_LOCATIONS[:3], day_time(10), 1200, 0.2)
-    result = benchmark(lambda: bench_engine.m_query(query))
+    result = benchmark(lambda: m_query(bench_client, query))
     assert result.segments
 
 
-def test_bench_naive_three_locations(bench_engine, benchmark, count_sweep):
+def test_bench_naive_three_locations(bench_client, benchmark, count_sweep):
     query = MQuery(config.M_QUERY_LOCATIONS[:3], day_time(10), 1200, 0.2)
     result = benchmark.pedantic(
-        lambda: bench_engine.m_query(query, algorithm="sqmb_tbs_each"),
+        lambda: m_query(bench_client, query, algorithm="sqmb_tbs_each"),
         rounds=3, iterations=1, warmup_rounds=1,
     )
     assert result.segments

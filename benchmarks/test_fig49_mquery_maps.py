@@ -5,6 +5,7 @@ Expected shape: the combined region is (essentially) the union of the three
 individual Prob-reachable regions.
 """
 
+from client_protocol import m_query, s_query
 from repro.core.query import MQuery, SQuery
 from repro.eval import config
 from repro.trajectory.model import day_time
@@ -13,15 +14,15 @@ from repro.viz.ascii_map import render_region
 LOCATIONS = config.M_QUERY_LOCATIONS[:3]
 
 
-def test_fig49_three_location_maps(bench_engine, bench_dataset, benchmark, emit):
+def test_fig49_three_location_maps(bench_client, bench_dataset, benchmark, emit):
     network = bench_dataset.network
     combined = benchmark(
-        lambda: bench_engine.m_query(
-            MQuery(LOCATIONS, day_time(10), 900, 0.2)
+        lambda: m_query(
+            bench_client, MQuery(LOCATIONS, day_time(10), 900, 0.2)
         )
     )
     singles = [
-        bench_engine.s_query(SQuery(loc, day_time(10), 900, 0.2))
+        s_query(bench_client, SQuery(loc, day_time(10), 900, 0.2))
         for loc in LOCATIONS
     ]
     art = [

@@ -143,6 +143,11 @@ class BatchReport:
         return max((r.cost.max_wave_size for r in self.results), default=0)
 
     @property
+    def segments_expanded(self) -> int:
+        """Segments the bounding-region expansions enqueued, batch-wide."""
+        return sum(r.cost.segments_expanded for r in self.results)
+
+    @property
     def batched_record_reads(self) -> int:
         """Records fetched through the wave-granular batch gather path."""
         return sum(r.cost.batched_record_reads for r in self.results)
@@ -173,7 +178,8 @@ class BatchReport:
             (
                 "Bounding regions",
                 f"{self.regions_computed} computed, "
-                f"{self.regions_reused} reused",
+                f"{self.regions_reused} reused "
+                f"({self.segments_expanded:,} segments expanded)",
             ),
             (
                 "Probability checks",

@@ -50,7 +50,13 @@ from repro.serving.partition import (
     partition_network,
     reach_m,
 )
-from repro.serving.protocol import MSG_ERROR, MSG_RUN, MSG_SHUTDOWN, unpack_result
+from repro.serving.protocol import (
+    MSG_ERROR,
+    MSG_OK,
+    MSG_RUN,
+    MSG_SHUTDOWN,
+    unpack_result,
+)
 from repro.serving.worker import shard_worker_main
 from repro.storage.disk import DiskStats
 
@@ -331,7 +337,13 @@ class ShardedEngine:
                 conn = self._conn_of_shard[shard_id]
                 by_conn.setdefault(id(conn), (conn, {}))[1][shard_id] = entries
         for conn, shard_map in by_conn.values():
-            conn.send((MSG_RUN, {"warm": warm, "shards": shard_map}))
+            try:
+                conn.send((MSG_RUN, {"warm": warm, "shards": shard_map}))
+            except (BrokenPipeError, OSError) as exc:
+                raise RuntimeError(
+                    "shard worker died before batch dispatch; workers do "
+                    "not restart mid-session — rebuild the ShardedEngine"
+                ) from exc
 
         # Plans and routing decisions are dispatcher-side bookkeeping
         # (identical to what BatchStream records), deduplicated per
@@ -377,8 +389,16 @@ class ShardedEngine:
                     raise RuntimeError(
                         "shard worker exited before replying"
                     ) from None
+                except (ValueError, TypeError) as exc:
+                    raise RuntimeError(
+                        f"malformed reply frame from shard worker: {exc}"
+                    ) from exc
                 if kind == MSG_ERROR:
                     raise RuntimeError(f"shard worker failed:\n{body}")
+                if kind != MSG_OK:
+                    raise RuntimeError(
+                        f"unexpected reply kind {kind!r} from shard worker"
+                    )
                 replies.update(body)
                 waiting.pop(id(conn))
 

@@ -22,12 +22,14 @@ accounting exactly comparable to the single-process engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.engine import ReachabilityEngine
 from repro.io.persist import network_to_dict
 from repro.network.model import RoadNetwork
+from repro.spatial.geometry import Point
 
 #: Safety margin, in maximum segment lengths, added to the halo radius on
 #: top of the speed-and-duration travel bound: covers midpoint-vs-path
@@ -365,7 +367,7 @@ class SegmentLocator:
         self._degenerate = length_sq == 0.0
         self._length_sq = np.where(self._degenerate, 1.0, length_sq)
 
-    def locate(self, locations, chunk: int = 256) -> np.ndarray:
+    def locate(self, locations: Sequence[Point], chunk: int = 256) -> np.ndarray:
         """Start segment ids for ``locations`` (sequence of ``Point``)."""
         points = np.asarray([(p.x, p.y) for p in locations])
         out = np.empty(len(locations), dtype=np.int64)

@@ -25,7 +25,10 @@ from __future__ import annotations
 import threading
 import weakref
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # circular at runtime: pagestore imports this module
+    from repro.storage.pagestore import BufferPool
 
 
 DEFAULT_PAGE_SIZE = 4096
@@ -272,7 +275,7 @@ class SimulatedDisk:
                 raise DiskError("extent slice beyond allocated pages")
             return bytes(self._buf[start : start + length])
 
-    def attach_pool(self, pool) -> None:
+    def attach_pool(self, pool: BufferPool) -> None:
         """Register a buffer pool for write-through invalidation.
 
         Dead references are pruned and re-attaching a live pool is a

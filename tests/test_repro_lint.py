@@ -690,3 +690,626 @@ class TestReintroducedViolationsFailGate:
             encoding="utf-8",
         )
         assert any(f.rule == "RL005" for f in self.lint(src_copy))
+
+    def test_rl006_abba_lock_inversion(self, src_copy):
+        # The real hierarchy has PageStore._tail_lock -> _PoolShard.lock;
+        # a helper taking them in the opposite order closes the cycle.
+        store = src_copy / "repro" / "storage" / "pagestore.py"
+        text = store.read_text(encoding="utf-8")
+        store.write_text(
+            text
+            + "\n\ndef _abba_probe(shard, store):\n"
+            + "    with shard.lock:\n"
+            + "        with store._tail_lock:\n"
+            + "            pass\n",
+            encoding="utf-8",
+        )
+        findings = [f for f in self.lint(src_copy) if f.rule == "RL006"]
+        assert findings and any("ABBA" in f.message for f in findings)
+
+    def test_rl007_uncharged_read_path(self, src_copy):
+        # Give an executor entry point a direct raw read that bypasses
+        # the BufferPool/PageStore charging chokepoints.
+        executor = src_copy / "repro" / "core" / "executors" / "sqmb_tbs.py"
+        text = executor.read_text(encoding="utf-8")
+        text = text.replace(
+            "    st = ctx.st_index()\n",
+            "    st = ctx.st_index()\n"
+            "    ctx.database.disk.read_page(0)\n",
+            1,
+        )
+        executor.write_text(text, encoding="utf-8")
+        findings = [f for f in self.lint(src_copy) if f.rule == "RL007"]
+        assert findings and any("uncharged disk-read path" in f.message for f in findings)
+
+    def test_rl008_unrendered_cost_field(self, src_copy):
+        query = src_copy / "repro" / "core" / "query.py"
+        text = query.read_text(encoding="utf-8")
+        text = text.replace(
+            "    pool_lock_shards: int = 0\n",
+            "    pool_lock_shards: int = 0\n    phantom_counter: int = 0\n",
+            1,
+        )
+        query.write_text(text, encoding="utf-8")
+        findings = [f for f in self.lint(src_copy) if f.rule == "RL008"]
+        messages = " | ".join(f.message for f in findings)
+        assert "phantom_counter" in messages
+        assert "never rendered" in messages
+
+    def test_rl009_unhandled_protocol_message(self, src_copy):
+        protocol = src_copy / "repro" / "serving" / "protocol.py"
+        protocol.write_text(
+            protocol.read_text(encoding="utf-8") + '\nMSG_PING = "ping"\n',
+            encoding="utf-8",
+        )
+        dispatcher = src_copy / "repro" / "serving" / "dispatcher.py"
+        dispatcher.write_text(
+            dispatcher.read_text(encoding="utf-8")
+            + "\n\ndef _ping(conn):\n"
+            + "    from repro.serving.protocol import MSG_PING\n"
+            + "    conn.send((MSG_PING, None))\n",
+            encoding="utf-8",
+        )
+        findings = [f for f in self.lint(src_copy) if f.rule == "RL009"]
+        assert findings and any(
+            "MSG_PING" in f.message and "never handled in the worker" in f.message
+            for f in findings
+        )
+
+
+class TestLockGraphCli:
+    """--write-lock-graph / --check-lock-graph: the committed-artifact
+    drift gate CI runs on every push."""
+
+    def run_cli(self, *args: str, cwd=REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.repro_lint", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+        )
+
+    def test_committed_graph_matches_fresh_extraction(self):
+        result = self.run_cli(
+            "src/", "--check-lock-graph", "tools/repro_lint/lock_order.json"
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_committed_graph_is_cycle_free(self):
+        data = json.loads(
+            (REPO_ROOT / "tools" / "repro_lint" / "lock_order.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        adjacency = {}
+        for edge in data["edges"]:
+            adjacency.setdefault(edge["from"], set()).add(edge["to"])
+
+        seen, stack = set(), set()
+
+        def dfs(node):
+            if node in stack:
+                return True
+            if node in seen:
+                return False
+            seen.add(node)
+            stack.add(node)
+            hit = any(dfs(nxt) for nxt in adjacency.get(node, ()))
+            stack.discard(node)
+            return hit
+
+        assert not any(dfs(lock["name"]) for lock in data["locks"])
+
+    def test_write_then_check_round_trips(self, tmp_path):
+        out = tmp_path / "lock_order.json"
+        result = self.run_cli("src/", "--write-lock-graph", str(out))
+        assert result.returncode == 0, result.stdout + result.stderr
+        check = self.run_cli("src/", "--check-lock-graph", str(out))
+        assert check.returncode == 0, check.stdout + check.stderr
+
+    def test_check_diverging_graph_fails(self, tmp_path):
+        out = tmp_path / "lock_order.json"
+        assert self.run_cli("src/", "--write-lock-graph", str(out)).returncode == 0
+        data = json.loads(out.read_text(encoding="utf-8"))
+        data["locks"].append({"kind": "lock", "name": "repro.fake.Ghost._lock"})
+        out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        result = self.run_cli("src/", "--check-lock-graph", str(out))
+        assert result.returncode == 1
+        assert "diverge" in (result.stdout + result.stderr)
+
+    def test_check_missing_file_fails(self, tmp_path):
+        result = self.run_cli(
+            "src/", "--check-lock-graph", str(tmp_path / "absent.json")
+        )
+        assert result.returncode == 1
+
+    def test_write_exits_nonzero_on_cycle(self, tmp_path):
+        tree = tmp_path / "proj"
+        tree.mkdir()
+        (tree / "mod.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Pair:
+                    def __init__(self):
+                        self.la = threading.Lock()
+                        self.lb = threading.Lock()
+
+                    def ab(self):
+                        with self.la:
+                            with self.lb:
+                                pass
+
+                    def ba(self):
+                        with self.lb:
+                            with self.la:
+                                pass
+                """
+            ),
+            encoding="utf-8",
+        )
+        out = tmp_path / "lock_order.json"
+        result = self.run_cli(str(tree), "--write-lock-graph", str(out))
+        assert result.returncode == 1
+        assert out.exists()
+
+
+# ---------------------------------------------------------------------------
+# RL006 — interprocedural lock order
+# ---------------------------------------------------------------------------
+
+
+def lint_tree(tmp_path: Path, files, select=None):
+    """Write a multi-file scratch tree and lint it."""
+    for name, source in files.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    _, findings = run_paths([str(tmp_path)], select=select)
+    return findings
+
+
+class TestRL006LockOrder:
+    def test_consistent_order_passes(self, tmp_path):
+        source = """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self.la = threading.Lock()
+                    self.lb = threading.Lock()
+
+                def ab(self):
+                    with self.la:
+                        with self.lb:
+                            pass
+
+                def also_ab(self):
+                    with self.la:
+                        with self.lb:
+                            pass
+        """
+        assert lint_snippet(tmp_path, source, select=["RL006"]) == []
+
+    def test_nested_abba_cycle_fails(self, tmp_path):
+        source = """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self.la = threading.Lock()
+                    self.lb = threading.Lock()
+
+                def ab(self):
+                    with self.la:
+                        with self.lb:
+                            pass
+
+                def ba(self):
+                    with self.lb:
+                        with self.la:
+                            pass
+        """
+        findings = lint_snippet(tmp_path, source, select=["RL006"])
+        assert rules_of(findings) == ["RL006"]
+        assert any("ABBA" in f.message for f in findings)
+
+    def test_interprocedural_abba_cycle_fails(self, tmp_path):
+        source = """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self.la = threading.Lock()
+                    self.lb = threading.Lock()
+
+                def ab(self):
+                    with self.la:
+                        self._take_b()
+
+                def _take_b(self):
+                    with self.lb:
+                        pass
+
+                def ba(self):
+                    with self.lb:
+                        self._take_a()
+
+                def _take_a(self):
+                    with self.la:
+                        pass
+        """
+        findings = lint_snippet(tmp_path, source, select=["RL006"])
+        assert any("ABBA" in f.message for f in findings)
+
+    def test_plain_lock_reacquire_is_self_deadlock(self, tmp_path):
+        source = """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def outer(self):
+                    with self.lock:
+                        self._inner()
+
+                def _inner(self):
+                    with self.lock:
+                        pass
+        """
+        findings = lint_snippet(tmp_path, source, select=["RL006"])
+        assert rules_of(findings) == ["RL006"]
+        assert any("re-acquire" in f.message for f in findings)
+
+    def test_rlock_reacquire_passes(self, tmp_path):
+        source = """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self.lock = threading.RLock()
+
+                def outer(self):
+                    with self.lock:
+                        self._inner()
+
+                def _inner(self):
+                    with self.lock:
+                        pass
+        """
+        assert lint_snippet(tmp_path, source, select=["RL006"]) == []
+
+    def test_unresolvable_lock_acquisition_fails(self, tmp_path):
+        source = """
+            class Worker:
+                def run(self, ext):
+                    with ext.some_lock:
+                        pass
+        """
+        findings = lint_snippet(tmp_path, source, select=["RL006"])
+        assert rules_of(findings) == ["RL006"]
+        assert any("cannot resolve lock acquisition" in f.message for f in findings)
+
+    def test_holds_annotation_contributes_edges(self, tmp_path):
+        source = """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self.la = threading.Lock()
+                    self.lb = threading.Lock()
+
+                # repro-lint: holds=la
+                def _b_under_a(self):
+                    with self.lb:
+                        pass
+
+                def ba(self):
+                    with self.lb:
+                        with self.la:
+                            pass
+        """
+        findings = lint_snippet(tmp_path, source, select=["RL006"])
+        assert any("ABBA" in f.message for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# RL007 — I/O-accounting dataflow
+# ---------------------------------------------------------------------------
+
+
+class TestRL007AccountingFlow:
+    REGISTRY = textwrap.dedent(
+        """
+        def register_executor(kind, name):
+            def deco(fn):
+                return fn
+            return deco
+        """
+    )
+
+    def snippet(self, tmp_path, body):
+        return lint_snippet(
+            tmp_path, self.REGISTRY + textwrap.dedent(body), select=["RL007"]
+        )
+
+    def test_direct_raw_read_in_executor_fails(self, tmp_path):
+        findings = self.snippet(tmp_path, """
+            @register_executor("s", "algo_tbs")
+            def execute(ctx):
+                return ctx.disk.read_page(0)
+        """)
+        assert rules_of(findings) == ["RL007"]
+        assert "uncharged disk-read path" in findings[0].message
+
+    def test_interprocedural_raw_read_fails_with_chain(self, tmp_path):
+        findings = self.snippet(tmp_path, """
+            @register_executor("s", "algo_tbs")
+            def execute(ctx):
+                return _fetch(ctx)
+
+            def _fetch(ctx):
+                return ctx.disk.read_page(0)
+        """)
+        assert rules_of(findings) == ["RL007"]
+        assert "execute -> " in findings[0].message
+        assert "._fetch" in findings[0].message
+
+    def test_charging_barrier_passes(self, tmp_path):
+        findings = self.snippet(tmp_path, """
+            @register_executor("s", "algo_tbs")
+            def execute(ctx):
+                return _load(ctx)
+
+            def _load(ctx):
+                pages = ctx.pool.get_pages([0, 1])
+                return ctx.disk.extent_bytes(0, len(pages))
+        """)
+        assert findings == []
+
+    def test_charged_annotation_is_a_barrier(self, tmp_path):
+        findings = self.snippet(tmp_path, """
+            @register_executor("s", "algo_tbs")
+            def execute(ctx):
+                return _decode(ctx)
+
+            # repro-lint: charged
+            def _decode(ctx):
+                return ctx.disk.extent_bytes(0, 2)
+        """)
+        assert findings == []
+
+    def test_no_registry_is_a_noop(self, tmp_path):
+        source = """
+            def peek(disk):
+                return disk.read_page(0)
+        """
+        assert lint_snippet(tmp_path, source, select=["RL007"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RL008 — QueryCost counter drift
+# ---------------------------------------------------------------------------
+
+
+class TestRL008CounterDrift:
+    QUERY = textwrap.dedent(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class QueryCost:
+            page_reads: int = 0
+            expansions: int = 0
+        """
+    )
+    SERVICE = textwrap.dedent(
+        """
+        class BatchReport:
+            def __init__(self, results):
+                self.results = results
+
+            @property
+            def page_reads(self):
+                return sum(r.cost.page_reads for r in self.results)
+
+            @property
+            def expansions(self):
+                return sum(r.cost.expansions for r in self.results)
+        """
+    )
+    DOCS = textwrap.dedent(
+        """
+        # API
+
+        `QueryCost` fields:
+
+        - `page_reads` — pages charged against the simulated disk.
+        - `expansions` — segments expanded by the search.
+
+        ## Next section
+        """
+    )
+
+    def write_docs(self, tmp_path, text):
+        docs = tmp_path / "docs"
+        docs.mkdir(exist_ok=True)
+        (docs / "api.md").write_text(text, encoding="utf-8")
+
+    def test_consistent_surfaces_pass(self, tmp_path):
+        self.write_docs(tmp_path, self.DOCS)
+        findings = lint_tree(
+            tmp_path,
+            {"core/query.py": self.QUERY, "core/service.py": self.SERVICE},
+            select=["RL008"],
+        )
+        assert findings == []
+
+    def test_unaggregated_unrendered_undocumented_field_fails(self, tmp_path):
+        self.write_docs(tmp_path, self.DOCS)
+        query = self.QUERY + "    dead_counter: int = 0\n"
+        findings = lint_tree(
+            tmp_path,
+            {"core/query.py": query, "core/service.py": self.SERVICE},
+            select=["RL008"],
+        )
+        messages = " | ".join(f.message for f in findings)
+        assert "dead_counter is not aggregated by BatchReport" in messages
+        assert "dead_counter is never rendered" in messages
+        assert "dead_counter is undocumented" in messages
+
+    def test_stale_doc_bullet_fails(self, tmp_path):
+        self.write_docs(
+            tmp_path,
+            self.DOCS.replace(
+                "- `expansions` — segments expanded by the search.",
+                "- `expansions` — segments expanded by the search.\n"
+                "- `ghost_counter` — removed long ago.",
+            ),
+        )
+        findings = lint_tree(
+            tmp_path,
+            {"core/query.py": self.QUERY, "core/service.py": self.SERVICE},
+            select=["RL008"],
+        )
+        assert any("`ghost_counter` which is not a QueryCost field" in f.message for f in findings)
+
+    def test_no_query_cost_is_a_noop(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": "x = 1\n"}, select=["RL008"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL009 — serving protocol exhaustiveness
+# ---------------------------------------------------------------------------
+
+
+class TestRL009Protocol:
+    PROTOCOL = textwrap.dedent(
+        """
+        MSG_RUN = "run"
+        MSG_OK = "ok"
+        MSG_ERROR = "error"
+        MSG_SHUTDOWN = "shutdown"
+        """
+    )
+    WORKER = textwrap.dedent(
+        """
+        from serving.protocol import MSG_ERROR, MSG_OK, MSG_RUN, MSG_SHUTDOWN
+
+        def loop(conn):
+            while True:
+                kind, payload = conn.recv()
+                if kind == MSG_SHUTDOWN:
+                    break
+                if kind == MSG_RUN:
+                    try:
+                        conn.send((MSG_OK, payload))
+                    except Exception as exc:
+                        conn.send((MSG_ERROR, str(exc)))
+                else:
+                    conn.send((MSG_ERROR, "unknown kind"))
+        """
+    )
+    DISPATCHER = textwrap.dedent(
+        """
+        from serving.protocol import MSG_ERROR, MSG_OK, MSG_RUN, MSG_SHUTDOWN
+
+        def run(conn, req):
+            conn.send((MSG_RUN, req))
+            kind, payload = conn.recv()
+            if kind == MSG_ERROR:
+                raise RuntimeError(payload)
+            if kind != MSG_OK:
+                raise RuntimeError("bad frame")
+            return payload
+
+        def stop(conn):
+            conn.send((MSG_SHUTDOWN, None))
+        """
+    )
+
+    def tree(self, protocol=None, worker=None, dispatcher=None):
+        return {
+            "serving/protocol.py": protocol or self.PROTOCOL,
+            "serving/worker.py": worker or self.WORKER,
+            "serving/dispatcher.py": dispatcher or self.DISPATCHER,
+        }
+
+    def test_complete_protocol_passes(self, tmp_path):
+        assert lint_tree(tmp_path, self.tree(), select=["RL009"]) == []
+
+    def test_dead_message_kind_fails(self, tmp_path):
+        protocol = self.PROTOCOL + 'MSG_PING = "ping"\n'
+        findings = lint_tree(tmp_path, self.tree(protocol=protocol), select=["RL009"])
+        assert any("MSG_PING is never sent" in f.message for f in findings)
+
+    def test_unhandled_message_fails(self, tmp_path):
+        protocol = self.PROTOCOL + 'MSG_PING = "ping"\n'
+        dispatcher = self.DISPATCHER + textwrap.dedent(
+            """
+            def ping(conn):
+                from serving.protocol import MSG_PING
+                conn.send((MSG_PING, None))
+            """
+        )
+        findings = lint_tree(
+            tmp_path,
+            self.tree(protocol=protocol, dispatcher=dispatcher),
+            select=["RL009"],
+        )
+        assert any(
+            "MSG_PING (sent by the dispatcher) is never handled in the worker" in f.message
+            for f in findings
+        )
+
+    def test_missing_unknown_kind_fallback_fails(self, tmp_path):
+        worker = """
+            from serving.protocol import MSG_ERROR, MSG_OK, MSG_RUN, MSG_SHUTDOWN
+
+            def loop(conn):
+                while True:
+                    kind, payload = conn.recv()
+                    if kind == MSG_SHUTDOWN:
+                        break
+                    if kind == MSG_RUN:
+                        try:
+                            conn.send((MSG_OK, payload))
+                        except Exception as exc:
+                            conn.send((MSG_ERROR, str(exc)))
+        """
+        findings = lint_tree(tmp_path, self.tree(worker=worker), select=["RL009"])
+        assert any("no unknown-message fallback" in f.message for f in findings)
+
+    def test_missing_error_path_fails(self, tmp_path):
+        worker = """
+            from serving.protocol import MSG_ERROR, MSG_OK, MSG_RUN, MSG_SHUTDOWN
+
+            def loop(conn):
+                while True:
+                    kind, payload = conn.recv()
+                    if kind == MSG_SHUTDOWN:
+                        break
+                    if kind == MSG_RUN:
+                        conn.send((MSG_OK, payload))
+                    else:
+                        conn.send((MSG_ERROR, "unknown kind"))
+        """
+        findings = lint_tree(tmp_path, self.tree(worker=worker), select=["RL009"])
+        assert any("no error path" in f.message for f in findings)
+
+    def test_both_sides_sending_fails(self, tmp_path):
+        worker = self.WORKER + textwrap.dedent(
+            """
+            def renegade(conn):
+                conn.send((MSG_RUN, None))
+            """
+        )
+        findings = lint_tree(tmp_path, self.tree(worker=worker), select=["RL009"])
+        assert any("sent by both sides" in f.message for f in findings)
+
+    def test_no_protocol_module_is_a_noop(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": "x = 1\n"}, select=["RL009"])
+        assert findings == []

@@ -309,3 +309,100 @@ def test_out_of_contract_requests_fall_back(test_dataset):
         [long_query]
     )
     assert report.results[0].segments == baseline.results[0].segments
+
+
+# -- protocol error paths ---------------------------------------------------
+
+
+class _ScriptedConn:
+    """In-process stand-in for a worker's pipe end: replays scripted
+    incoming frames and records everything the worker sends back."""
+
+    def __init__(self, frames):
+        self.frames = list(frames)
+        self.sent = []
+
+    def recv(self):
+        if not self.frames:
+            raise EOFError
+        return self.frames.pop(0)
+
+    def send(self, frame):
+        self.sent.append(frame)
+
+
+class TestProtocolErrorPaths:
+    """The RL009 contract, exercised dynamically: unknown kinds and
+    executor failures answer with MSG_ERROR instead of killing the
+    worker loop; a dead worker surfaces as RuntimeError, not a hang."""
+
+    def test_unknown_message_kind_gets_structured_error(self):
+        from repro.serving.protocol import MSG_ERROR, MSG_SHUTDOWN
+        from repro.serving.worker import shard_worker_main
+
+        conn = _ScriptedConn([("bogus", None), (MSG_SHUTDOWN,)])
+        shard_worker_main(conn, [])
+        assert len(conn.sent) == 1
+        kind, body = conn.sent[0]
+        assert kind == MSG_ERROR
+        assert "unknown message kind" in body
+        assert "bogus" in body
+
+    def test_malformed_frame_survives_and_replies_error(self):
+        # A subscriptable-but-garbage frame must not kill the loop: the
+        # worker answers MSG_ERROR and keeps serving the next message.
+        from repro.serving.protocol import MSG_ERROR, MSG_SHUTDOWN
+        from repro.serving.worker import shard_worker_main
+
+        conn = _ScriptedConn(["zz", ("still-bogus", 1), (MSG_SHUTDOWN,)])
+        shard_worker_main(conn, [])
+        assert [kind for kind, _ in conn.sent] == [MSG_ERROR, MSG_ERROR]
+
+    def test_failing_run_replies_error_with_traceback(self):
+        # A MSG_RUN for a shard the worker does not host fails inside
+        # _serve_run; the reply must carry the traceback, and the loop
+        # must stay alive for the next frame.
+        from repro.serving.protocol import MSG_ERROR, MSG_RUN, MSG_SHUTDOWN
+        from repro.serving.worker import shard_worker_main
+
+        conn = _ScriptedConn(
+            [
+                (MSG_RUN, {"warm": False, "shards": {99: []}}),
+                (MSG_SHUTDOWN,),
+            ]
+        )
+        shard_worker_main(conn, [])
+        assert len(conn.sent) == 1
+        kind, body = conn.sent[0]
+        assert kind == MSG_ERROR
+        assert "Traceback" in body and "KeyError" in body
+
+    def test_pipe_eof_exits_worker_loop_cleanly(self):
+        from repro.serving.worker import shard_worker_main
+
+        conn = _ScriptedConn([])  # recv raises EOFError immediately
+        shard_worker_main(conn, [])  # must return, not raise
+        assert conn.sent == []
+
+    def test_worker_death_mid_session_raises(self, test_dataset):
+        sharded = ShardedEngine(fresh_engine(test_dataset), shards=2)
+        try:
+            for process in sharded._processes:
+                process.kill()
+            for process in sharded._processes:
+                process.join(timeout=10)
+            with pytest.raises(RuntimeError, match="shard worker"):
+                sharded.run_batch(mixed_requests(test_dataset.network, 2, 0))
+        finally:
+            sharded.close()
+
+    def test_double_close_after_failure_is_safe(self, test_dataset):
+        sharded = ShardedEngine(fresh_engine(test_dataset), shards=2)
+        for process in sharded._processes:
+            process.kill()
+        for process in sharded._processes:
+            process.join(timeout=10)
+        sharded.close()  # pipes to dead workers: must swallow the errors
+        sharded.close()  # and stay idempotent
+        with pytest.raises(RuntimeError):
+            sharded.run_batch(mixed_requests(test_dataset.network, 1, 0))

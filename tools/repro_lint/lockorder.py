@@ -1,0 +1,357 @@
+"""Interprocedural lock-order extraction (the RL006 engine).
+
+A lock *node* is a class-qualified lock attribute — every instance of
+``repro.storage.pagestore._PoolShard.lock`` is one node, the standard
+lock-order abstraction.  Within each function the walker tracks the set
+of locks held at every statement: ``with self.<lock>:`` blocks push a
+lock for the duration of their body, and a ``# repro-lint: holds=``
+annotation means the whole body runs with that lock already held.
+
+Order edges ``A -> B`` are emitted when
+
+* a ``with`` acquiring ``B`` executes while ``A`` is held (nested
+  blocks), or
+* a call executes while ``A`` is held and the callee *eventually*
+  acquires ``B`` — "eventually" being a fixpoint of direct acquisitions
+  over the call graph, so the edge sees through arbitrarily deep call
+  chains, registry dispatch included.
+
+Re-acquiring a reentrant lock (``threading.RLock``) is legal and emits
+nothing; re-acquiring a plain ``Lock`` is reported as a self-deadlock.
+Any cycle among distinct locks is a potential ABBA deadlock.
+
+The whole graph serializes deterministically (sorted, no line numbers)
+to ``tools/repro_lint/lock_order.json`` so CI can diff a fresh
+extraction against the committed artifact.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from tools.repro_lint.callgraph import CallGraph
+from tools.repro_lint.symbols import ClassInfo, FunctionInfo, SymbolTable
+
+MAX_WITNESSES = 4
+
+
+@dataclass
+class LockEdge:
+    src: str
+    dst: str
+    witnesses: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class LockProblem:
+    """A finding-to-be: self-deadlock or unresolvable acquisition."""
+
+    kind: str  # self_deadlock | unresolved_acquisition
+    message: str
+    file_rel: str
+    line: int
+
+
+@dataclass
+class LockOrderGraph:
+    locks: Dict[str, str] = field(default_factory=dict)  # name -> lock|rlock
+    edges: Dict[Tuple[str, str], LockEdge] = field(default_factory=dict)
+    problems: List[LockProblem] = field(default_factory=list)
+    #: first acquisition site per lock, for anchoring cycle findings
+    sites: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    def add_edge(self, src: str, dst: str, witness: str) -> None:
+        edge = self.edges.setdefault((src, dst), LockEdge(src=src, dst=dst))
+        edge.witnesses.add(witness)
+
+    def cycles(self) -> List[List[str]]:
+        """Strongly connected components with more than one lock, sorted."""
+        adjacency: Dict[str, Set[str]] = {name: set() for name in self.locks}
+        for (src, dst) in self.edges:
+            adjacency.setdefault(src, set()).add(dst)
+            adjacency.setdefault(dst, set())
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        counter = [0]
+        out: List[List[str]] = []
+
+        def strongconnect(v: str) -> None:
+            # Iterative Tarjan: (node, iterator-position) frames.
+            work = [(v, iter(sorted(adjacency[v])))]
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for w in it:
+                    if w not in index:
+                        index[w] = low[w] = counter[0]
+                        counter[0] += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work.append((w, iter(sorted(adjacency[w]))))
+                        advanced = True
+                        break
+                    if w in on_stack:
+                        low[node] = min(low[node], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.append(w)
+                        if w == node:
+                            break
+                    if len(component) > 1:
+                        out.append(sorted(component))
+
+        for name in sorted(adjacency):
+            if name not in index:
+                strongconnect(name)
+        return sorted(out)
+
+    def to_json(self, unresolved_calls: Sequence[str] = ()) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "locks": [
+                {"name": name, "kind": self.locks[name]}
+                for name in sorted(self.locks)
+            ],
+            "edges": [
+                {
+                    "from": edge.src,
+                    "to": edge.dst,
+                    "witnesses": sorted(edge.witnesses)[:MAX_WITNESSES],
+                }
+                for (_, _), edge in sorted(self.edges.items())
+            ],
+            "unresolved_calls": sorted(set(unresolved_calls)),
+        }
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        head = _dotted(node.value)
+        return f"{head}.{node.attr}" if head else None
+    return None
+
+
+def _class_lock(table: SymbolTable, cls: ClassInfo, attr: str) -> Optional[Tuple[str, str]]:
+    """(lock qualname, kind) for `self.<attr>` on cls, following bases."""
+    seen: Set[str] = set()
+    stack = [cls]
+    while stack:
+        cur = stack.pop(0)
+        if cur.qualname in seen:
+            continue
+        seen.add(cur.qualname)
+        if attr in cur.lock_attrs:
+            return (f"{cur.qualname}.{attr}", cur.lock_attrs[attr])
+        for base in cur.bases:
+            resolved = table.resolve_class_name(base, cur.module)
+            if resolved is not None:
+                stack.append(resolved)
+    return None
+
+
+def _resolve_lock_expr(
+    table: SymbolTable, fn: FunctionInfo, expr: ast.AST
+) -> Optional[Tuple[str, str]]:
+    """Resolve a with-statement context expression to (lock node, kind)."""
+    if not isinstance(expr, ast.Attribute):
+        return None
+    attr = expr.attr
+    if isinstance(expr.value, ast.Name) and expr.value.id == "self" and fn.cls:
+        cls = table.classes.get(fn.cls)
+        if cls is not None:
+            found = _class_lock(table, cls, attr)
+            if found is not None:
+                return found
+    owner = table.lock_owner(attr)
+    if owner is not None:
+        cls, kind = owner
+        return (f"{cls.qualname}.{attr}", kind)
+    return None
+
+
+def _looks_like_lock(expr: ast.AST) -> bool:
+    """Heuristic: is this with-context plausibly a lock acquisition?"""
+    name = _dotted(expr)
+    if name is None:
+        return False
+    tail = name.rsplit(".", 1)[-1].lower()
+    return "lock" in tail or "mutex" in tail
+
+
+def _holds_locks(table: SymbolTable, fn: FunctionInfo) -> List[Tuple[str, str]]:
+    out: List[Tuple[str, str]] = []
+    for attr in fn.holds:
+        resolved: Optional[Tuple[str, str]] = None
+        if fn.cls:
+            cls = table.classes.get(fn.cls)
+            if cls is not None:
+                resolved = _class_lock(table, cls, attr)
+        if resolved is None:
+            owner = table.lock_owner(attr)
+            if owner is not None:
+                resolved = (f"{owner[0].qualname}.{attr}", owner[1])
+        if resolved is not None:
+            out.append(resolved)
+    return out
+
+
+def _direct_acquisitions(
+    table: SymbolTable, fn: FunctionInfo, graph_out: LockOrderGraph
+) -> Set[str]:
+    """All lock nodes this function acquires anywhere in its body."""
+    out: Set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                resolved = _resolve_lock_expr(table, fn, item.context_expr)
+                if resolved is not None:
+                    name, kind = resolved
+                    out.add(name)
+                    graph_out.locks.setdefault(name, kind)
+                    graph_out.sites.setdefault(
+                        name, (fn.file.rel, item.context_expr.lineno)
+                    )
+                elif _looks_like_lock(item.context_expr):
+                    graph_out.problems.append(
+                        LockProblem(
+                            kind="unresolved_acquisition",
+                            message=(
+                                f"cannot resolve lock acquisition "
+                                f"`with {_dotted(item.context_expr)}:` in "
+                                f"{fn.qualname} to a known lock attribute"
+                            ),
+                            file_rel=fn.file.rel,
+                            line=item.context_expr.lineno,
+                        )
+                    )
+    return out
+
+
+def build_lock_order(table: SymbolTable, graph: CallGraph) -> LockOrderGraph:
+    out = LockOrderGraph()
+
+    # Register annotated locks and direct acquisitions.
+    direct: Dict[str, Set[str]] = {}
+    for fn in table.functions.values():
+        direct[fn.qualname] = _direct_acquisitions(table, fn, out)
+        for name, kind in _holds_locks(table, fn):
+            out.locks.setdefault(name, kind)
+
+    # Fixpoint: locks eventually acquired by each function.
+    eventual: Dict[str, Set[str]] = {q: set(s) for q, s in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for caller, callees in graph.edges.items():
+            bucket = eventual.setdefault(caller, set())
+            before = len(bucket)
+            for callee in callees:
+                bucket |= eventual.get(callee, set())
+            if len(bucket) != before:
+                changed = True
+
+    # Per-function traversal with held-lock tracking.
+    for fn in table.functions.values():
+        _emit_edges(table, graph, fn, eventual, out)
+    return out
+
+
+def _emit_edges(
+    table: SymbolTable,
+    graph: CallGraph,
+    fn: FunctionInfo,
+    eventual: Dict[str, Set[str]],
+    out: LockOrderGraph,
+) -> None:
+    callsites: Dict[int, List] = {}
+    for site in graph.sites_by_caller.get(fn.qualname, []):
+        callsites.setdefault(id(site.node), []).append(site)
+    entry_held = tuple(name for name, _ in _holds_locks(table, fn))
+    decorators = {id(d) for d in getattr(fn.node, "decorator_list", [])}
+
+    def acquire(lock: str, kind: str, held: Tuple[str, ...], line: int) -> None:
+        if lock in held:
+            if kind == "lock":
+                out.problems.append(
+                    LockProblem(
+                        kind="self_deadlock",
+                        message=(
+                            f"{fn.qualname} acquires non-reentrant lock "
+                            f"{lock} while already holding it"
+                        ),
+                        file_rel=fn.file.rel,
+                        line=line,
+                    )
+                )
+            return
+        for h in held:
+            out.add_edge(h, lock, fn.qualname)
+
+    def visit(node: ast.AST, held: Tuple[str, ...]) -> None:
+        if id(node) in decorators:
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            new_held = held
+            for item in node.items:
+                for sub in ast.walk(item.context_expr):
+                    if isinstance(sub, ast.Call):
+                        handle_call(sub, held)
+                resolved = _resolve_lock_expr(table, fn, item.context_expr)
+                if resolved is not None:
+                    name, kind = resolved
+                    acquire(name, kind, new_held, item.context_expr.lineno)
+                    if name not in new_held:
+                        new_held = new_held + (name,)
+            for child in node.body:
+                visit(child, new_held)
+            return
+        if isinstance(node, ast.Call):
+            handle_call(node, held)
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    def handle_call(node: ast.Call, held: Tuple[str, ...]) -> None:
+        if not held:
+            return
+        for site in callsites.get(id(node), []):
+            for lock in sorted(eventual.get(site.callee, set())):
+                kind = out.locks.get(lock, "lock")
+                if lock in held:
+                    if kind == "lock":
+                        out.problems.append(
+                            LockProblem(
+                                kind="self_deadlock",
+                                message=(
+                                    f"{fn.qualname} calls {site.callee} while "
+                                    f"holding non-reentrant lock {lock}, which "
+                                    f"the callee re-acquires"
+                                ),
+                                file_rel=fn.file.rel,
+                                line=node.lineno,
+                            )
+                        )
+                    continue
+                for h in held:
+                    out.add_edge(h, lock, f"{fn.qualname} -> {site.callee}")
+
+    for child in ast.iter_child_nodes(fn.node):
+        visit(child, entry_held)

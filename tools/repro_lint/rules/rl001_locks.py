@@ -15,7 +15,10 @@ The declaration comment may name the lock as ``_lock`` or
 ``self._lock``.  Multiple locks can be stacked by separating holds
 annotations with commas: ``# repro-lint: holds=_lock,_tail_lock``.
 
-This is a purely intra-class analysis: accesses through other objects
+Guarded fields and holds annotations come from the shared symbol table
+(:mod:`tools.repro_lint.symbols`), so RL001 and the interprocedural
+lock-order rule RL006 agree on what is guarded and what is held.  This
+remains a purely intra-class analysis: accesses through other objects
 (``other._field``) and aliased locks (``lk = self._lock; with lk:``)
 are out of scope by design — the codebase does not use those shapes
 for guarded fields, and the annotations in src/repro keep it that way.
@@ -24,8 +27,7 @@ for guarded fields, and the annotations in src/repro keep it that way.
 from __future__ import annotations
 
 import ast
-import re
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, Optional, Set, Tuple
 
 from tools.repro_lint.core import (
     Finding,
@@ -36,9 +38,7 @@ from tools.repro_lint.core import (
     enclosing_statement_line,
     register_rule,
 )
-
-GUARDED_RE = re.compile(r"#\s*guarded_by:\s*(?:self\.)?([A-Za-z_]\w*)")
-HOLDS_RE = re.compile(r"#\s*repro-lint:\s*holds=((?:(?:self\.)?[A-Za-z_]\w*)(?:\s*,\s*(?:self\.)?[A-Za-z_]\w*)*)")
+from tools.repro_lint.symbols import HOLDS_RE, ClassInfo, symbol_table
 
 
 def _self_attr(node: ast.AST) -> Optional[str]:
@@ -52,31 +52,14 @@ def _self_attr(node: ast.AST) -> Optional[str]:
     return None
 
 
-def _guarded_fields(src: SourceFile, cls: ast.ClassDef) -> Dict[str, Tuple[str, int]]:
-    """Map field name -> (lock name, declaration line) from ``__init__``."""
-    out: Dict[str, Tuple[str, int]] = {}
-    for item in cls.body:
-        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
-            for stmt in ast.walk(item):
-                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
-                    continue
-                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
-                names = [f for f in (_self_attr(t) for t in targets) if f]
-                if not names:
-                    continue
-                end = getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno
-                comment = src.comment_in_range(stmt.lineno, end)
-                m = GUARDED_RE.search(comment)
-                if m:
-                    for name in names:
-                        out[name] = (m.group(1), stmt.lineno)
-            break
-    return out
+def _held_locks(src: SourceFile, fn: ast.AST) -> Set[str]:
+    """Locks declared held via ``# repro-lint: holds=`` on/above a def.
 
-
-def _held_locks(src: SourceFile, fn: ast.FunctionDef) -> Set[str]:
-    """Locks declared held via ``# repro-lint: holds=`` on/above the def."""
-    first = fn.decorator_list[0].lineno if fn.decorator_list else fn.lineno
+    Used for nested functions, which the symbol table attributes to
+    their enclosing method; top-level methods use FunctionInfo.holds.
+    """
+    decorators = getattr(fn, "decorator_list", [])
+    first = decorators[0].lineno if decorators else fn.lineno
     comment = src.comment_in_range(first - 1, fn.lineno)
     held: Set[str] = set()
     for m in HOLDS_RE.finditer(comment):
@@ -121,29 +104,19 @@ class LockDiscipline(Rule):
     )
 
     def check(self, project: Project) -> Iterator[Finding]:
-        for src in project.iter_parsed():
-            assert src.tree is not None
-            for cls in [n for n in ast.walk(src.tree) if isinstance(n, ast.ClassDef)]:
-                guarded = _guarded_fields(src, cls)
-                if not guarded:
-                    continue
-                yield from self._check_class(src, cls, guarded)
+        table = symbol_table(project)
+        for cls in table.classes.values():
+            if cls.guarded_fields:
+                yield from self._check_class(cls)
 
-    def _check_class(
-        self,
-        src: SourceFile,
-        cls: ast.ClassDef,
-        guarded: Dict[str, Tuple[str, int]],
-    ) -> Iterator[Finding]:
-        methods = [
-            n
-            for n in cls.body
-            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
-        ]
-        for fn in methods:
-            if fn.name == "__init__":
+    def _check_class(self, cls: ClassInfo) -> Iterator[Finding]:
+        src = cls.file
+        guarded: Dict[str, Tuple[str, int]] = cls.guarded_fields
+        for method in cls.methods.values():
+            if method.name == "__init__":
                 continue
-            held_by_annotation = _held_locks(src, fn)
+            fn = method.node
+            held_by_annotation = set(method.holds)
             for node in ast.walk(fn):
                 name = _self_attr(node)
                 if name is None or name not in guarded:

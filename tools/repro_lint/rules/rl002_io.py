@@ -30,8 +30,10 @@ from tools.repro_lint.core import (
     register_rule,
 )
 
-RAW_IO_METHODS = frozenset({"read_page", "charge_reads", "extent_bytes", "write_page"})
-RAW_BUFFER_ATTRS = frozenset({"_buf", "_used"})
+# Shared with RL007's dataflow proof (tools/repro_lint/symbols.py): the
+# firewall (this rule) and the reachability proof must agree on what
+# "raw" means or a method could pass one and fail the other.
+from tools.repro_lint.symbols import RAW_BUFFER_ATTRS, RAW_IO_METHODS
 
 EXEMPT_PATH_PARTS = ("/storage/", "/tools/")
 

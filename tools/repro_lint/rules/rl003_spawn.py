@@ -29,6 +29,7 @@ import re
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from tools.repro_lint.core import Finding, Project, Rule, SourceFile, register_rule
+from tools.repro_lint.symbols import symbol_table
 
 PAYLOAD_MARK_RE = re.compile(r"#\s*repro-lint:\s*payload\b")
 
@@ -110,13 +111,15 @@ def _annotation_names(node: ast.AST) -> Set[str]:
 
 
 def _class_map(project: Project) -> Dict[str, Tuple[SourceFile, ast.ClassDef]]:
-    """Project-wide map of dataclass name -> definition (first wins)."""
+    """Project-wide map of dataclass name -> definition (first wins).
+
+    Sourced from the shared symbol table so the transitive field walk
+    follows the same class universe the other rules resolve against.
+    """
     out: Dict[str, Tuple[SourceFile, ast.ClassDef]] = {}
-    for src in project.iter_parsed():
-        assert src.tree is not None
-        for node in ast.walk(src.tree):
-            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
-                out.setdefault(node.name, (src, node))
+    for cls in symbol_table(project).classes.values():
+        if _is_dataclass(cls.node):
+            out.setdefault(cls.name, (cls.file, cls.node))
     return out
 
 

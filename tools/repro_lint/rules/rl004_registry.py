@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Iterator, List, Optional, Set, Tuple
 
 from tools.repro_lint.core import Finding, Project, Rule, SourceFile, register_rule
+from tools.repro_lint.symbols import symbol_table
 
 WORD_RE = re.compile(r"[A-Za-z_]\w*")
 TBS_TOKEN_RE = re.compile(r"\b[a-z][a-z0-9_]*_tbs(?:_[a-z0-9_]+)?\b")
@@ -42,32 +43,15 @@ ES_FAMILY_TOKEN_RE = re.compile(r"^es(?:_[a-z0-9]+)*$")
 
 def _registry(project: Project) -> Tuple[Set[Tuple[str, str]], bool]:
     """(kind, name) pairs registered via @register_executor with constant
-    args, plus whether any dynamic (non-constant) registration exists."""
-    pairs: Set[Tuple[str, str]] = set()
-    dynamic = False
-    for src in project.iter_parsed():
-        assert src.tree is not None
-        for node in ast.walk(src.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                continue
-            for dec in node.decorator_list:
-                if not isinstance(dec, ast.Call):
-                    continue
-                func = dec.func
-                fname = func.id if isinstance(func, ast.Name) else (
-                    func.attr if isinstance(func, ast.Attribute) else None
-                )
-                if fname != "register_executor":
-                    continue
-                if (
-                    len(dec.args) >= 2
-                    and isinstance(dec.args[0], ast.Constant)
-                    and isinstance(dec.args[1], ast.Constant)
-                ):
-                    pairs.add((str(dec.args[0].value), str(dec.args[1].value)))
-                else:
-                    dynamic = True
-    return pairs, dynamic
+    args, plus whether any dynamic (non-constant) registration exists.
+
+    Thin view over the shared symbol table's executor registry — the
+    same table the interprocedural rules dispatch through, so RL004 and
+    RL006/RL007 can never disagree about what is registered.
+    """
+    table = symbol_table(project)
+    pairs = {(reg.kind, reg.name) for reg in table.executors}
+    return pairs, bool(table.dynamic_registrations)
 
 
 def _algorithmish(token: str) -> bool:

@@ -54,39 +54,8 @@ def _servicey_receiver(node: ast.AST) -> bool:
     return False
 
 
-def _top_level_names(tree: ast.Module) -> Set[str]:
-    """Names bound at module top level (defs, classes, assignments,
-    imports), including conditional branches one level down."""
-    names: Set[str] = set()
-
-    def collect(body: List[ast.stmt]) -> None:
-        for stmt in body:
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                names.add(stmt.name)
-            elif isinstance(stmt, ast.Assign):
-                for t in stmt.targets:
-                    if isinstance(t, ast.Name):
-                        names.add(t.id)
-                    elif isinstance(t, (ast.Tuple, ast.List)):
-                        for e in t.elts:
-                            if isinstance(e, ast.Name):
-                                names.add(e.id)
-            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
-                names.add(stmt.target.id)
-            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
-                for alias in stmt.names:
-                    if alias.name == "*":
-                        continue
-                    names.add(alias.asname or alias.name.split(".")[0])
-            elif isinstance(stmt, (ast.If, ast.Try)):
-                collect(stmt.body)
-                for handler in getattr(stmt, "handlers", []):
-                    collect(handler.body)
-                collect(stmt.orelse)
-                collect(getattr(stmt, "finalbody", []))
-
-    collect(tree.body)
-    return names
+# Shared with the symbol table: one definition of "bound at top level".
+from tools.repro_lint.symbols import top_level_names as _top_level_names
 
 
 def _module_all(tree: ast.Module) -> Optional[ast.Assign]:

@@ -1,0 +1,83 @@
+"""RL006 — interprocedural lock-order (deadlock) detection.
+
+Built on the shared symbol table and call graph: every ``with
+self.<lock>:`` block and ``# repro-lint: holds=`` annotation contributes
+lock acquisitions, held-lock sets propagate along call edges (registry
+dispatch included), and the resulting global lock-order graph must be a
+DAG.  Findings:
+
+* a **cycle** among distinct locks — a potential ABBA deadlock: two
+  threads taking the same pair of locks in opposite orders;
+* a **self-deadlock** — re-acquiring a non-reentrant ``threading.Lock``
+  (directly or through a call chain) while it is already held;
+* an **unresolvable acquisition** — a ``with`` statement that looks like
+  a lock (``*lock*`` in the attribute name) but cannot be mapped to a
+  known ``self.x = threading.Lock()`` attribute, which would silently
+  escape the analysis.
+
+The full graph is exported to ``tools/repro_lint/lock_order.json`` via
+``python -m tools.repro_lint --write-lock-graph`` (see
+``docs/architecture.md`` for the rendered hierarchy); CI re-extracts it
+and fails on divergence, so the committed artifact is always current.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from tools.repro_lint.callgraph import call_graph
+from tools.repro_lint.core import Finding, Project, Rule, register_rule
+from tools.repro_lint.lockorder import LockOrderGraph, build_lock_order
+from tools.repro_lint.symbols import symbol_table
+
+
+def lock_order_for(project: Project) -> LockOrderGraph:
+    """Cached lock-order graph for a project (shared with the CLI)."""
+    cached = getattr(project, "_lock_order", None)
+    if cached is None:
+        cached = build_lock_order(symbol_table(project), call_graph(project))
+        project._lock_order = cached  # type: ignore[attr-defined]
+    return cached
+
+
+@register_rule
+class LockOrder(Rule):
+    id = "RL006"
+    name = "lock-order"
+    severity = "error"
+    description = (
+        "the global lock-order graph (propagated over the call graph) "
+        "must be acyclic; non-reentrant locks must never be re-acquired"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = lock_order_for(project)
+        for problem in graph.problems:
+            sf = project._by_rel.get(problem.file_rel)
+            if sf is None:
+                continue
+            yield self.finding(sf, problem.line, 0, problem.message)
+        for cycle in graph.cycles():
+            # Anchor deterministically at the first acquisition site of
+            # the lexicographically smallest lock in the cycle.
+            anchor = graph.sites.get(cycle[0])
+            if anchor is None:
+                continue
+            sf = project._by_rel.get(anchor[0])
+            if sf is None:
+                continue
+            edges = []
+            cycle_set = set(cycle)
+            for (src, dst), edge in sorted(graph.edges.items()):
+                if src in cycle_set and dst in cycle_set:
+                    witness = sorted(edge.witnesses)[0] if edge.witnesses else ""
+                    edges.append(f"{src} -> {dst} (via {witness})")
+            yield self.finding(
+                sf,
+                anchor[1],
+                0,
+                "potential ABBA deadlock: lock-order cycle among "
+                + ", ".join(cycle)
+                + "; "
+                + "; ".join(edges),
+            )

@@ -1,0 +1,217 @@
+"""RL009 — serving protocol exhaustiveness.
+
+The dispatcher/worker pipe protocol is a closed set of ``MSG_*`` string
+constants in ``serving/protocol.py``.  Nothing type-checks a pickle
+tuple, so drift here surfaces as a hang: a kind one side sends and the
+other never handles sits in the pipe forever.  The rule statically
+classifies each kind by who *sends* it (a ``.send((MSG_X, ...))`` call)
+and then requires:
+
+* every kind is sent by exactly one side (a kind nobody sends is dead
+  protocol surface; a kind both sides send has no direction);
+* every kind sent by the dispatcher is *handled* — compared against —
+  in the worker, exactly once (the dispatch loop);
+* every kind sent by the worker is handled in the dispatcher (the
+  gather loop must distinguish ``ok`` from ``error`` from garbage);
+* the worker has an unknown-kind fallback (a reply with ``MSG_ERROR``
+  outside any ``except`` handler) and an error path (a reply with
+  ``MSG_ERROR`` inside an ``except`` handler), so a malformed frame
+  gets a clean error back instead of killing the worker loop.
+
+No-op for trees without a ``serving/protocol.py`` defining ``MSG_*``
+constants.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.repro_lint.core import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    ancestors,
+    register_rule,
+)
+
+
+def _msg_constants(sf: SourceFile) -> Dict[str, Tuple[str, int]]:
+    """MSG_* name -> (string value, line)."""
+    out: Dict[str, Tuple[str, int]] = {}
+    if sf.tree is None:
+        return out
+    for stmt in sf.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id.startswith("MSG_")
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                out[target.id] = (stmt.value.value, stmt.lineno)
+    return out
+
+
+def _msg_names_in(node: ast.AST, known: Set[str]) -> Set[str]:
+    return {
+        sub.id
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Name) and sub.id in known
+    }
+
+
+def _send_sites(sf: SourceFile, known: Set[str]) -> List[Tuple[str, ast.Call]]:
+    """(MSG name, call node) for `.send((MSG_X, ...))`-shaped calls."""
+    out: List[Tuple[str, ast.Call]] = []
+    if sf.tree is None:
+        return out
+    for node in ast.walk(sf.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "send"
+            and node.args
+        ):
+            continue
+        payload = node.args[0]
+        if isinstance(payload, ast.Tuple) and payload.elts:
+            head = payload.elts[0]
+            if isinstance(head, ast.Name) and head.id in known:
+                out.append((head.id, node))
+    return out
+
+
+def _handled_kinds(sf: SourceFile, known: Set[str]) -> Dict[str, int]:
+    """MSG name -> number of comparison (handler) sites in the module."""
+    counts: Dict[str, int] = {}
+    if sf.tree is None:
+        return counts
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Compare):
+            names = _msg_names_in(node, known)
+            for name in names:
+                counts[name] = counts.get(name, 0) + 1
+        elif isinstance(node, ast.Match):  # pragma: no cover - future-proof
+            for case in node.cases:
+                for name in _msg_names_in(case.pattern, known):
+                    counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def _in_except_handler(node: ast.AST) -> bool:
+    for parent in ancestors(node):
+        if isinstance(parent, ast.ExceptHandler):
+            return True
+    return False
+
+
+@register_rule
+class ProtocolExhaustiveness(Rule):
+    id = "RL009"
+    name = "protocol-exhaustiveness"
+    severity = "error"
+    description = (
+        "every serving protocol message kind has one sender side, is "
+        "handled by its peer, and the worker covers unknown/error paths"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        protocol = project.find("serving/protocol.py")
+        if protocol is None:
+            return
+        constants = _msg_constants(protocol)
+        if not constants:
+            return
+        known = set(constants)
+        worker = project.find("serving/worker.py")
+        dispatcher = project.find("serving/dispatcher.py")
+
+        sides: Dict[str, Optional[SourceFile]] = {
+            "worker": worker,
+            "dispatcher": dispatcher,
+        }
+        senders: Dict[str, Set[str]] = {name: set() for name in known}
+        for side, sf in sides.items():
+            if sf is None:
+                continue
+            for name, _node in _send_sites(sf, known):
+                senders[name].add(side)
+
+        handled = {
+            side: _handled_kinds(sf, known) if sf is not None else {}
+            for side, sf in sides.items()
+        }
+        peer = {"worker": "dispatcher", "dispatcher": "worker"}
+
+        for name in sorted(known):
+            _, line = constants[name]
+            sent_by = senders[name]
+            if not sent_by:
+                yield self.finding(
+                    protocol,
+                    line,
+                    0,
+                    f"protocol message {name} is never sent by the worker "
+                    "or the dispatcher (dead protocol surface)",
+                )
+                continue
+            if len(sent_by) > 1:
+                yield self.finding(
+                    protocol,
+                    line,
+                    0,
+                    f"protocol message {name} is sent by both sides; the "
+                    "pipe protocol is directional",
+                )
+                continue
+            sender = next(iter(sent_by))
+            receiver = peer[sender]
+            receiver_sf = sides[receiver]
+            if receiver_sf is None:
+                continue
+            count = handled[receiver].get(name, 0)
+            if count == 0:
+                yield self.finding(
+                    receiver_sf,
+                    1,
+                    0,
+                    f"protocol message {name} (sent by the {sender}) is "
+                    f"never handled in the {receiver}: an unexpected reply "
+                    "would be silently misinterpreted or hang the pipe",
+                )
+            elif receiver == "worker" and count > 1:
+                yield self.finding(
+                    receiver_sf,
+                    1,
+                    0,
+                    f"protocol message {name} has {count} handler "
+                    "comparisons in the worker; the dispatch loop must "
+                    "handle each kind exactly once",
+                )
+
+        if worker is not None and "MSG_ERROR" in known:
+            error_sends = [
+                node for name, node in _send_sites(worker, known) if name == "MSG_ERROR"
+            ]
+            if not any(_in_except_handler(node) for node in error_sends):
+                yield self.finding(
+                    worker,
+                    1,
+                    0,
+                    "worker has no error path: executing a request must "
+                    "reply (MSG_ERROR, traceback) from an except handler "
+                    "instead of killing the worker loop",
+                )
+            if not any(not _in_except_handler(node) for node in error_sends):
+                yield self.finding(
+                    worker,
+                    1,
+                    0,
+                    "worker has no unknown-message fallback: an "
+                    "unrecognized kind must be answered with MSG_ERROR, "
+                    "not ignored",
+                )
