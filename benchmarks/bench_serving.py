@@ -27,6 +27,12 @@ Writes ``BENCH_serving.json`` with one section per workload size:
   (dispatch + pipe codec + gather + merge).  Every input to the model is a measurement from this run;
   only the overlap of worker groups is assumed.
 
+* ``fault_overhead`` — the PR 9 no-fault hot-path gate: the same batch
+  through a supervised engine (deadline + bounded retries armed, the
+  defaults) and one with the machinery disabled (``deadline_ms=None,
+  max_retries=0``), interleaved pairwise; the run **fails** if the
+  supervised best-of-N exceeds the disabled best-of-N by more than 5%.
+
 Every sharded run is verified to return the identical segment sets the
 single-process engine returns (the full randomized equivalence proof
 lives in ``tests/test_serving.py``; the benchmark only measures).
@@ -67,6 +73,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: acceptance criterion (>= 2.5x at 4 worker processes) is measured
 #: against.
 PR5_BASELINE_QPS = 452.3
+
+#: PR 9 acceptance gate: the no-fault hot path with the supervisor
+#: machinery armed (deadline + bounded retries, the defaults) must stay
+#: within 5% of the same engine with the machinery disabled
+#: (``deadline_ms=None, max_retries=0``).
+FAULT_OVERHEAD_TOLERANCE = 0.05
 
 
 def fresh_engine(dataset, settings) -> ReachabilityEngine:
@@ -223,6 +235,87 @@ def bench_workload(
     return section
 
 
+def bench_fault_overhead(dataset, settings, batch_size: int, repeat: int) -> dict:
+    """No-fault hot-path cost of the PR 9 supervisor machinery.
+
+    Two identically configured engines answer the same batch: one with
+    the fault-tolerance defaults (per-scatter deadline armed, bounded
+    retries) and one with the machinery disabled (``deadline_ms=None,
+    max_retries=0``).  Same protocol, same worker code — the delta is
+    the supervision bookkeeping on the hot path (request ids, attempt
+    tracking, deadline arithmetic in the gather loop), gated at
+    :data:`FAULT_OVERHEAD_TOLERANCE`.  Samples are interleaved pairwise
+    so machine noise hits both contenders symmetrically.
+    """
+    workload = QueryWorkload(dataset.network, seed=17)
+    batch = workload.mixed_batch(
+        batch_size, max(1, batch_size // 4), start_time_s=settings.start_time_s
+    )
+    contenders = {}
+    for label, overrides in (
+        ("supervised_default", {}),
+        ("machinery_disabled", {"deadline_ms": None, "max_retries": 0}),
+    ):
+        engine = ShardedEngine(
+            QueryService(
+                fresh_engine(dataset, settings), delta_t_s=settings.delta_t_s
+            ),
+            shards=4,
+            workers=2,
+            delta_t_s=settings.delta_t_s,
+            **overrides,
+        )
+        engine.run_batch(batch)  # warm the worker engines symmetrically
+        contenders[label] = engine
+
+    # Best-of-N is the gate estimator: on a time-shared container the
+    # scheduler inflates individual samples by far more than the 5%
+    # budget, and that noise only ever adds — the fastest observed run
+    # is the cleanest view of what the machinery itself costs.  The
+    # medians are recorded alongside for context.
+    reps = max(3 * repeat, 9)
+    samples: dict[str, list[float]] = {label: [] for label in contenders}
+    for _ in range(reps):
+        for label, engine in contenders.items():
+            started = time.perf_counter()
+            report = engine.run_batch(batch)
+            samples[label].append((time.perf_counter() - started) * 1e3)
+            assert report.worker_restarts == 0 and report.retries == 0
+    for engine in contenders.values():
+        engine.close()
+
+    default_ms = min(samples["supervised_default"])
+    disabled_ms = min(samples["machinery_disabled"])
+    overhead = (default_ms - disabled_ms) / disabled_ms
+    print(
+        f"  fault machinery: supervised {default_ms:.1f} ms vs "
+        f"disabled {disabled_ms:.1f} ms best-of-{reps} "
+        f"({overhead * 100:+.1f}% overhead, gate {FAULT_OVERHEAD_TOLERANCE:.0%})"
+    )
+    if overhead > FAULT_OVERHEAD_TOLERANCE:
+        raise SystemExit(
+            f"fault-machinery overhead {overhead:.1%} exceeds the "
+            f"{FAULT_OVERHEAD_TOLERANCE:.0%} no-fault hot-path budget"
+        )
+    return {
+        "batch_queries": len(batch),
+        "workers": 2,
+        "shards": 4,
+        "repetitions": reps,
+        "estimator": "best_of_n_interleaved",
+        "supervised_default_ms": round(default_ms, 3),
+        "machinery_disabled_ms": round(disabled_ms, 3),
+        "supervised_default_median_ms": round(
+            statistics.median(samples["supervised_default"]), 3
+        ),
+        "machinery_disabled_median_ms": round(
+            statistics.median(samples["machinery_disabled"]), 3
+        ),
+        "overhead_fraction": round(overhead, 4),
+        "tolerance_fraction": FAULT_OVERHEAD_TOLERANCE,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -260,6 +353,11 @@ def main() -> None:
             full_mode=not args.quick,
         )
 
+    print("fault-machinery overhead (no-fault hot path)")
+    fault_overhead = bench_fault_overhead(
+        dataset, settings, batch_sizes[0], repeat
+    )
+
     report = {
         "benchmark": (
             "sharded multi-process serving: spatial partitioning, "
@@ -278,6 +376,7 @@ def main() -> None:
             "delta_t_s": settings.delta_t_s,
         },
         "workloads": sections,
+        "fault_overhead": fault_overhead,
     }
     if not args.quick:
         report["pr5_baseline_queries_per_s"] = PR5_BASELINE_QPS

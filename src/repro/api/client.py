@@ -64,6 +64,11 @@ class ReachabilityClient:
         shards: spatial partition arity for the sharded backend.
         shard_workers: worker-process count for the sharded backend
             (default ``None`` = one process per shard).
+        deadline_ms: per-scatter reply deadline for the sharded backend
+            (default ``None`` = the engine's default; pass through to
+            :class:`~repro.serving.ShardedEngine`).
+        max_retries: bounded-retry limit per scatter for the sharded
+            backend (default ``None`` = the engine's default).
     """
 
     def __init__(
@@ -74,6 +79,8 @@ class ReachabilityClient:
         backend: str = "threaded",
         shards: int = 4,
         shard_workers: int | None = None,
+        deadline_ms: float | None = None,
+        max_retries: int | None = None,
     ) -> None:
         if backend not in ("threaded", "sharded"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -83,6 +90,8 @@ class ReachabilityClient:
         self.backend = backend
         self.shards = shards
         self.shard_workers = shard_workers
+        self.deadline_ms = deadline_ms
+        self.max_retries = max_retries
         self._pool: ThreadPoolExecutor | None = None  # guarded_by: _pool_lock
         self._pool_lock = threading.Lock()
         self._sharded = None  # guarded_by: _sharded_lock
@@ -251,10 +260,16 @@ class ReachabilityClient:
                 # machinery most clients never need.
                 from repro.serving import ShardedEngine
 
+                overrides = {}
+                if self.deadline_ms is not None:
+                    overrides["deadline_ms"] = self.deadline_ms
+                if self.max_retries is not None:
+                    overrides["max_retries"] = self.max_retries
                 self._sharded = ShardedEngine(
                     self.service,
                     shards=self.shards,
                     workers=self.shard_workers,
+                    **overrides,
                 )
             return self._sharded
 

@@ -87,7 +87,11 @@ class CLIError(Exception):
 
 
 def _load_client(
-    dataset_dir: str, shards: int = 0, workers: int | None = None
+    dataset_dir: str,
+    shards: int = 0,
+    workers: int | None = None,
+    deadline_ms: float | None = None,
+    max_retries: int | None = None,
 ) -> tuple:
     from repro.core.engine import ReachabilityEngine
     from repro.io.persist import load_dataset
@@ -103,7 +107,12 @@ def _load_client(
     engine = ReachabilityEngine(dataset.network, dataset.database)
     if shards > 0:
         return dataset, ReachabilityClient(
-            engine, backend="sharded", shards=shards, shard_workers=workers
+            engine,
+            backend="sharded",
+            shards=shards,
+            shard_workers=workers,
+            deadline_ms=deadline_ms,
+            max_retries=max_retries,
         )
     return dataset, ReachabilityClient(engine)
 
@@ -238,7 +247,11 @@ def cmd_batch(args) -> int:
     from repro.eval.workload import QueryWorkload
 
     dataset, client = _load_client(
-        args.dataset, shards=args.shards, workers=args.workers
+        args.dataset,
+        shards=args.shards,
+        workers=args.workers,
+        deadline_ms=args.deadline_ms,
+        max_retries=args.max_retries,
     )
     # No algorithm name is registered for every kind, so a forced
     # --algorithm applies to the kinds that register it and the rest of
@@ -297,6 +310,38 @@ def cmd_batch(args) -> int:
     )
     total = len(requests)
     with client:
+        if args.explain:
+            if args.shards > 0:
+                from repro.serving.dispatcher import (
+                    DEFAULT_DEADLINE_MS,
+                    DEFAULT_MAX_RETRIES,
+                )
+
+                deadline = (
+                    args.deadline_ms
+                    if args.deadline_ms is not None
+                    else DEFAULT_DEADLINE_MS
+                )
+                retries = (
+                    args.max_retries
+                    if args.max_retries is not None
+                    else DEFAULT_MAX_RETRIES
+                )
+                print(
+                    f"backend: sharded ({args.shards} shards, "
+                    f"{args.workers or args.shards} worker processes; "
+                    f"deadline {deadline:.0f} ms, max {retries} retries, "
+                    "degraded sub-batches fall back locally)"
+                )
+            else:
+                print(f"backend: threaded ({args.workers} worker threads)")
+            decisions: dict[str, int] = {}
+            for request in requests:
+                decision = client.route(request)
+                key = f"{decision.kind}:{decision.algorithm} [{decision.rule}]"
+                decisions[key] = decisions.get(key, 0) + 1
+            for key in sorted(decisions):
+                print(f"  route {key}: {decisions[key]} request(s)")
         if args.shards > 0:
             # Sharded batches scatter whole sub-batches to worker
             # processes, so there is no per-response progress stream;
@@ -388,6 +433,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="spatial shards served by worker processes "
                             "(default 0 = single-process); the report "
                             "gains one breakdown row per shard")
+    batch.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-scatter reply deadline for the sharded "
+                            "backend; a worker that misses it is retried "
+                            "(default: engine default, 30000)")
+    batch.add_argument("--max-retries", type=int, default=None,
+                       help="bounded retry limit per scatter before the "
+                            "sub-batch degrades to the local fallback "
+                            "(default: engine default, 2)")
+    batch.add_argument("--explain", action="store_true",
+                       help="print the backend/fault-tolerance "
+                            "configuration and the routing breakdown "
+                            "before executing")
     batch.add_argument("--seed", type=int, default=7)
     batch.set_defaults(func=cmd_batch)
 

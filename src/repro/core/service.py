@@ -65,6 +65,14 @@ class ShardReport:
         wall_time_s: wall time of the shard's sub-batch inside its worker.
         worker_wall_s: wall time of everything the worker did for this
             shard — service setup, the sub-batch, result packing.
+        worker_restarts: times the supervisor respawned this shard's
+            worker process during the batch.
+        retries: scatter attempts this shard's worker needed beyond the
+            first (deadline expiries, deaths, error replies).
+        degraded_requests: sub-requests of this shard that exhausted
+            their retries and re-executed on the dispatcher-local
+            fallback service (the shard's ``io`` window then measures
+            that local re-execution, so batch accounting stays exact).
     """
 
     shard_id: int
@@ -73,6 +81,9 @@ class ShardReport:
     simulated_io_ms: float = 0.0
     wall_time_s: float = 0.0
     worker_wall_s: float = 0.0
+    worker_restarts: int = 0
+    retries: int = 0
+    degraded_requests: int = 0
 
 
 @dataclass
@@ -95,6 +106,17 @@ class BatchReport:
             sharded backend (empty for single-process batches); the
             shard ``io`` snapshots plus any dispatcher-local fallback
             I/O sum exactly to ``io``.
+        worker_restarts: worker processes the sharded supervisor
+            respawned while answering this batch (0 on a healthy run
+            and always on the single-process backend).
+        retries: scatter attempts beyond the first, batch-wide.
+        degraded_requests: sub-requests answered by the dispatcher-local
+            fallback after exhausting their retries; results are
+            identical to a healthy run, only provenance differs.
+        stale_frames: late worker replies discarded by request id after
+            their attempt's deadline had already fired.
+        deadline_ms: the per-scatter deadline the batch ran under
+            (``None``: no deadline / single-process backend).
     """
 
     results: list[QueryResult] = field(default_factory=list)
@@ -107,6 +129,11 @@ class BatchReport:
     regions_reused: int = 0
     plans_reused: int = 0
     shard_reports: list[ShardReport] = field(default_factory=list)
+    worker_restarts: int = 0
+    retries: int = 0
+    degraded_requests: int = 0
+    stale_frames: int = 0
+    deadline_ms: float | None = None
 
     @property
     def page_reads(self) -> int:
@@ -196,12 +223,38 @@ class BatchReport:
                 f"({self.pool_lock_shards} pool lock shards)",
             ),
             ("Plans reused", f"{self.plans_reused}"),
-        ] + [
+        ] + (
+            [
+                (
+                    "Fault tolerance",
+                    f"{self.worker_restarts} worker restarts / "
+                    f"{self.retries} retries / "
+                    f"{self.degraded_requests} degraded / "
+                    f"{self.stale_frames} stale frames discarded"
+                    + (
+                        f" (deadline {self.deadline_ms:.0f} ms)"
+                        if self.deadline_ms is not None
+                        else " (no deadline)"
+                    ),
+                )
+            ]
+            if self.shard_reports
+            else []
+        ) + [
             (
                 f"Shard {shard.shard_id}",
                 f"{shard.queries} queries / {shard.io.page_reads:,} page "
                 f"reads / {shard.simulated_io_ms:.0f} ms simulated I/O "
-                f"({shard.wall_time_s * 1e3:.1f} ms wall)",
+                f"({shard.wall_time_s * 1e3:.1f} ms wall)"
+                + (
+                    f" [{shard.worker_restarts} restarts, "
+                    f"{shard.retries} retries, "
+                    f"{shard.degraded_requests} degraded]"
+                    if shard.worker_restarts
+                    or shard.retries
+                    or shard.degraded_requests
+                    else ""
+                ),
             )
             for shard in self.shard_reports
         ]

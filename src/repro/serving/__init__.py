@@ -18,7 +18,11 @@ dispatcher:
 * :mod:`repro.serving.dispatcher` — :class:`ShardedEngine`: routes each
   request to its owning shard (single-shard fast path), decomposes
   cross-shard m-queries, merges results, and aggregates per-shard
-  :class:`~repro.storage.disk.DiskStats` exactly.
+  :class:`~repro.storage.disk.DiskStats` exactly — under a supervisor
+  that respawns dead workers, retries timed-out scatters with backoff,
+  and degrades exhausted sub-batches to the local fallback service;
+* :mod:`repro.serving.faults` — deterministic fault injection
+  (:class:`FaultPlan`) for reproducing every failure mode in tests.
 
 Accounting guarantee: a shard worker runs its sub-batch serially on a
 slice whose page geometry is identical to the full index, so its
@@ -27,13 +31,34 @@ single-process engine running the same sub-requests — proven by
 ``tests/test_serving.py``'s equivalence oracle.
 """
 
-from repro.serving.dispatcher import DispatchPlan, ShardedEngine
+from repro.serving.dispatcher import (
+    DispatchPlan,
+    ShardedEngine,
+    ShardedEngineClosedError,
+)
+from repro.serving.faults import (
+    CORRUPT_FRAME,
+    DELAY_RESPONSE,
+    DROP_FRAME,
+    KILL_BEFORE_RECV,
+    RAISE_IN_SERVE,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.serving.partition import PartitionPlan, ShardSpec, partition_network
 
 __all__ = [
+    "CORRUPT_FRAME",
+    "DELAY_RESPONSE",
+    "DROP_FRAME",
     "DispatchPlan",
+    "FaultPlan",
+    "FaultSpec",
+    "KILL_BEFORE_RECV",
     "PartitionPlan",
+    "RAISE_IN_SERVE",
     "ShardSpec",
     "ShardedEngine",
+    "ShardedEngineClosedError",
     "partition_network",
 ]

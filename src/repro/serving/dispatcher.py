@@ -1,4 +1,4 @@
-"""Scatter-gather dispatch over shard worker processes.
+"""Scatter-gather dispatch over supervised shard worker processes.
 
 :class:`ShardedEngine` is the multi-process counterpart of
 :meth:`repro.api.ReachabilityClient.run_batch`: it partitions the road
@@ -16,12 +16,32 @@ set the single-process engine computes.  A request whose travel bound
 exceeds the halo contract (duration too long, or a foreign Δt) falls
 back to the dispatcher's own single-process service.
 
+Failure semantics (the supervisor): the dispatcher retains every shard's
+spawn payload, so a worker is a *replaceable* process.  Each scatter is
+an **attempt** with a fresh protocol request id and a deadline
+(``deadline_ms``); the gather loop waits with that deadline
+(:meth:`ShardedEngine._poll_workers` is the single blocking chokepoint —
+lint rule RL010), and an attempt that dies (EOF on the pipe), times out,
+answers ``MSG_ERROR``, or sends a corrupt frame is **retried** with
+exponential backoff up to ``max_retries`` times — on a freshly respawned
+worker when the process is gone or untrusted, on the same worker when it
+is merely slow (a late reply is then discarded by request id, never
+mismatched).  A sub-batch that exhausts its retries **degrades**: it
+re-executes on the dispatcher-local fallback service, so ``run_batch``
+still returns a complete report and one lost process costs one
+redispatch, not the batch.
+
 Accounting: every shard worker reports its sub-batch's exact
 :class:`~repro.storage.disk.DiskStats` window; ``report.io`` is the sum
-of those windows plus the dispatcher-local fallback window, so the
-sharded report aggregates **exactly** — per-shard snapshots add up to
-what a single-process engine would have charged for the same
-sub-batches.
+of those windows plus the dispatcher-local fallback window (out-of-
+contract *and* degraded sub-batches), so the sharded report aggregates
+**exactly** — per-shard snapshots add up to what a single-process engine
+would have charged for the same sub-batches, faults or not.  A failed
+attempt reports no window at all (whatever pages the doomed worker
+touched died with its private disk copy), which is what keeps degraded
+accounting exact.  The fault counters (``worker_restarts``, ``retries``,
+``degraded_requests``, ``stale_frames``) aggregate onto the report the
+same way the windows do.
 """
 
 from __future__ import annotations
@@ -42,6 +62,7 @@ from repro.core.service import (
     ShardReport,
     as_service,
 )
+from repro.serving.faults import FaultPlan, validate_plan
 from repro.serving.partition import (
     PartitionPlan,
     SegmentLocator,
@@ -55,6 +76,10 @@ from repro.serving.protocol import (
     MSG_OK,
     MSG_RUN,
     MSG_SHUTDOWN,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    pack_result,
+    parse_reply,
     unpack_result,
 )
 from repro.serving.worker import shard_worker_main
@@ -63,6 +88,27 @@ from repro.storage.disk import DiskStats
 #: Default longest query duration the halo contract covers (one hour —
 #: generous against the paper's 5..30-minute workloads).
 DEFAULT_MAX_DURATION_S = 3600.0
+
+#: Default per-scatter deadline.  Generous: the fig-4.8 workloads answer
+#: whole batches in well under a second, so 30 s only ever fires on a
+#: genuinely wedged worker, not a slow one.
+DEFAULT_DEADLINE_MS = 30_000.0
+
+#: Default bounded-retry limit per scatter (initial attempt excluded).
+DEFAULT_MAX_RETRIES = 2
+
+#: Default base for exponential retry backoff (seconds); attempt ``n``
+#: sleeps ``backoff * 2**(n-1)`` before redispatching.  Only the failure
+#: path ever sleeps.
+DEFAULT_RETRY_BACKOFF_S = 0.05
+
+
+class ShardedEngineClosedError(RuntimeError):
+    """A batch was submitted to a :class:`ShardedEngine` after ``close``.
+
+    Subclasses :class:`RuntimeError` so pre-existing callers catching
+    the old bare error keep working.
+    """
 
 
 @dataclass
@@ -94,6 +140,45 @@ class DispatchPlan:
     @property
     def num_sub_requests(self) -> int:
         return sum(len(entries) for entries in self.per_shard.values())
+
+
+@dataclass
+class _WorkerHandle:
+    """One live worker process plus its pipe and incarnation number."""
+
+    worker_idx: int
+    process: object
+    conn: object
+    incarnation: int = 0
+
+
+@dataclass
+class _Attempt:
+    """One in-flight scatter to one worker."""
+
+    request_id: int
+    shard_map: dict[int, list]
+    attempt: int  # 0 = initial dispatch, 1.. = retries
+    deadline_at: float | None  # monotonic seconds, None = no deadline
+
+
+@dataclass
+class _FaultStats:
+    """Per-batch supervision counters, merged onto the report."""
+
+    worker_restarts: int = 0
+    retries: int = 0
+    stale_frames: int = 0
+    restarts_of: dict[int, int] = field(default_factory=dict)
+    retries_of: dict[int, int] = field(default_factory=dict)
+
+    def count_restart(self, worker_idx: int) -> None:
+        self.worker_restarts += 1
+        self.restarts_of[worker_idx] = self.restarts_of.get(worker_idx, 0) + 1
+
+    def count_retry(self, worker_idx: int) -> None:
+        self.retries += 1
+        self.retries_of[worker_idx] = self.retries_of.get(worker_idx, 0) + 1
 
 
 def _merge_regions(regions: list) -> BoundingRegion | None:
@@ -142,6 +227,16 @@ class ShardedEngine:
             service's).  Requests at any other Δt fall back.
         max_duration_s: longest query duration the halo contract covers;
             longer requests fall back to the local service.
+        deadline_ms: per-scatter reply deadline; an attempt that exceeds
+            it is retried (``None`` disables deadlines — the gather then
+            blocks until the worker answers or dies).
+        max_retries: redispatch attempts per scatter after the initial
+            one; a sub-batch that exhausts them degrades to the local
+            fallback service.
+        retry_backoff_s: exponential-backoff base between retries
+            (``backoff * 2**(n-1)`` before the nth retry; 0 disables).
+        fault_plan: deterministic fault injection for tests (see
+            :mod:`repro.serving.faults`).
     """
 
     def __init__(
@@ -151,7 +246,15 @@ class ShardedEngine:
         workers: int | None = None,
         delta_t_s: int | None = None,
         max_duration_s: float = DEFAULT_MAX_DURATION_S,
+        deadline_ms: float | None = DEFAULT_DEADLINE_MS,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
+        # `_closed` first: a partially constructed engine must survive
+        # __del__ -> close() without AttributeError noise at GC time.
+        self._closed = False
+        self._workers: dict[int, _WorkerHandle] = {}
         self.service = as_service(target)
         self.engine = self.service.engine
         self.delta_t_s = (
@@ -159,6 +262,14 @@ class ShardedEngine:
         )
         self.router = Router()
         self.max_duration_s = max_duration_s
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.deadline_ms = deadline_ms
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.fault_plan = fault_plan
         self._st_index = self.engine.st_index(self.delta_t_s)
         self._v_max = self.engine.database.max_observed_speed_mps()
         self._max_segment_m = max_segment_length_m(self.engine.network)
@@ -184,26 +295,23 @@ class ShardedEngine:
         )
         if self.num_workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        ctx = multiprocessing.get_context("spawn")
-        self._processes: list = []
-        self._conns: list = []
-        self._conn_of_shard: dict[int, object] = {}
-        self._closed = False
+        validate_plan(fault_plan, self.num_workers)
+        self._ctx = multiprocessing.get_context("spawn")
+        # The supervisor's respawn substrate: every worker's payload
+        # slice is retained for the engine's whole lifetime, so a dead
+        # process is replaceable at any point between or during batches.
+        self._hosted: dict[int, list] = {
+            worker_idx: payloads[worker_idx :: self.num_workers]
+            for worker_idx in range(self.num_workers)
+        }
+        self._worker_of_shard: dict[int, int] = {
+            payload.shard_id: worker_idx
+            for worker_idx, hosted in self._hosted.items()
+            for payload in hosted
+        }
+        self._next_request_id = 0
         for worker_idx in range(self.num_workers):
-            hosted = payloads[worker_idx :: self.num_workers]
-            parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=shard_worker_main,
-                args=(child_conn, hosted),
-                daemon=True,
-                name=f"reach-shard-worker-{worker_idx}",
-            )
-            process.start()
-            child_conn.close()
-            self._processes.append(process)
-            self._conns.append(parent_conn)
-            for payload in hosted:
-                self._conn_of_shard[payload.shard_id] = parent_conn
+            self._workers[worker_idx] = self._spawn_worker(worker_idx, 0)
 
     def _load_weights(self):
         """Per-CSR-row trajectory-visit volume, the partition's load proxy.
@@ -226,6 +334,254 @@ class ShardedEngine:
             if row is not None:
                 volume[row] += sum(pointer.length for pointer in chain)
         return volume
+
+    # -- supervision -------------------------------------------------------
+
+    def _spawn_worker(self, worker_idx: int, incarnation: int) -> _WorkerHandle:
+        """Start one worker process hosting its payload slice."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(
+                child_conn,
+                self._hosted[worker_idx],
+                worker_idx,
+                incarnation,
+                self.fault_plan,
+            ),
+            daemon=True,
+            name=f"reach-shard-worker-{worker_idx}.{incarnation}",
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(worker_idx, process, parent_conn, incarnation)
+
+    def _retire_worker(self, handle: _WorkerHandle) -> None:
+        """Tear one worker down without touching engine state."""
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=5)
+        if handle.process.is_alive():  # pragma: no cover - unkillable child
+            handle.process.kill()
+            handle.process.join(timeout=5)
+
+    def _respawn_worker(
+        self, worker_idx: int, stats: _FaultStats
+    ) -> _WorkerHandle:
+        """Replace a dead/untrusted worker with a fresh incarnation."""
+        old = self._workers[worker_idx]
+        self._retire_worker(old)
+        handle = self._spawn_worker(worker_idx, old.incarnation + 1)
+        self._workers[worker_idx] = handle
+        stats.count_restart(worker_idx)
+        return handle
+
+    def _ensure_worker(
+        self, worker_idx: int, stats: _FaultStats
+    ) -> _WorkerHandle:
+        """The liveness check: respawn transparently if the process died."""
+        handle = self._workers[worker_idx]
+        if not handle.process.is_alive():
+            handle = self._respawn_worker(worker_idx, stats)
+        return handle
+
+    def _dispatch_attempt(
+        self,
+        worker_idx: int,
+        shard_map: dict[int, list],
+        attempt: int,
+        warm: bool,
+        outstanding: dict[int, _Attempt],
+        stats: _FaultStats,
+    ) -> None:
+        """Send one scatter attempt; opens its deadline window."""
+        handle = self._ensure_worker(worker_idx, stats)
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        body = {
+            "version": PROTOCOL_VERSION,
+            "warm": warm,
+            "shards": shard_map,
+        }
+        try:
+            handle.conn.send((MSG_RUN, request_id, body))
+        except (BrokenPipeError, OSError):
+            # Died between the liveness check and the send; one fresh
+            # incarnation gets the frame (a new pipe cannot be broken).
+            handle = self._respawn_worker(worker_idx, stats)
+            handle.conn.send((MSG_RUN, request_id, body))
+        deadline_at = (
+            time.monotonic() + self.deadline_ms / 1e3
+            if self.deadline_ms is not None
+            else None
+        )
+        outstanding[worker_idx] = _Attempt(
+            request_id=request_id,
+            shard_map=shard_map,
+            attempt=attempt,
+            deadline_at=deadline_at,
+        )
+
+    # The gather side's single blocking wait.  Everything the supervisor
+    # learns about worker health flows through here: readable frames,
+    # EOF/OSError death, and (by returning empty-handed) deadline expiry.
+    # repro-lint: deadline-wait
+    def _poll_workers(
+        self, worker_idxs: list[int], timeout_s: float | None
+    ) -> list[tuple[int, object, Exception | None]]:
+        """Wait for replies with a deadline; never blocks past it.
+
+        Returns ``(worker_idx, frame, failure)`` triples for every
+        connection that became ready — ``failure`` is the ``EOFError``/
+        ``OSError`` when the pipe is dead, else ``frame`` holds one
+        received object.  An empty list means the timeout elapsed.
+        """
+        conn_of = {id(self._workers[w].conn): w for w in worker_idxs}
+        ready = mp_connection.wait(
+            [self._workers[w].conn for w in worker_idxs], timeout_s
+        )
+        events: list[tuple[int, object, Exception | None]] = []
+        for conn in ready:
+            worker_idx = conn_of[id(conn)]
+            try:
+                events.append((worker_idx, conn.recv(), None))
+            except (EOFError, OSError) as exc:
+                events.append((worker_idx, None, exc))
+        return events
+
+    def _attempt_failed(
+        self,
+        worker_idx: int,
+        reason: str,
+        outstanding: dict[int, _Attempt],
+        degraded: list[tuple[int, dict[int, list]]],
+        stats: _FaultStats,
+        warm: bool,
+    ) -> None:
+        """Retry (with backoff) or, when retries are exhausted, degrade.
+
+        ``reason`` decides whether the worker process is still trusted:
+        ``died``/``corrupt`` respawn before any retry, ``timeout``
+        retries the same (possibly just slow) worker and only replaces
+        it on exhaustion, ``error`` keeps the worker (it answered
+        coherently — the failure was in the request's execution).
+        """
+        failed = outstanding.pop(worker_idx)
+        if reason in ("died", "corrupt"):
+            self._respawn_worker(worker_idx, stats)
+        if failed.attempt >= self.max_retries:
+            if reason == "timeout":
+                # A worker that ate the full retry budget without ever
+                # answering is wedged; replace it so the *next* batch
+                # starts clean (its late frames die with the old pipe).
+                self._respawn_worker(worker_idx, stats)
+            degraded.append((worker_idx, failed.shard_map))
+            return
+        stats.count_retry(worker_idx)
+        if self.retry_backoff_s > 0:
+            time.sleep(self.retry_backoff_s * (2 ** failed.attempt))
+        self._dispatch_attempt(
+            worker_idx, failed.shard_map, failed.attempt + 1, warm,
+            outstanding, stats,
+        )
+
+    def _gather(
+        self,
+        outstanding: dict[int, _Attempt],
+        warm: bool,
+        stats: _FaultStats,
+    ) -> tuple[dict[int, dict], list[tuple[int, dict[int, list]]]]:
+        """Collect every attempt's reply, retrying/degrading as needed."""
+        replies: dict[int, dict] = {}
+        degraded: list[tuple[int, dict[int, list]]] = []
+        while outstanding:
+            now = time.monotonic()
+            deadlines = [
+                a.deadline_at
+                for a in outstanding.values()
+                if a.deadline_at is not None
+            ]
+            timeout_s = (
+                max(0.0, min(deadlines) - now) if deadlines else None
+            )
+            events = self._poll_workers(sorted(outstanding), timeout_s)
+            for worker_idx, frame, failure in events:
+                attempt = outstanding.get(worker_idx)
+                if attempt is None:  # resolved earlier in this wave
+                    continue
+                if failure is not None:
+                    self._attempt_failed(
+                        worker_idx, "died", outstanding, degraded, stats, warm
+                    )
+                    continue
+                try:
+                    kind, request_id, body = parse_reply(frame)
+                except ProtocolError:
+                    self._attempt_failed(
+                        worker_idx, "corrupt", outstanding, degraded, stats,
+                        warm,
+                    )
+                    continue
+                if request_id != attempt.request_id:
+                    # A reply to an attempt whose deadline already fired:
+                    # drop it — the retry's answer is the only one merged.
+                    stats.stale_frames += 1
+                    continue
+                if kind == MSG_ERROR:
+                    self._attempt_failed(
+                        worker_idx, "error", outstanding, degraded, stats,
+                        warm,
+                    )
+                elif kind == MSG_OK:
+                    replies.update(body["shards"])
+                    outstanding.pop(worker_idx)
+            # Deadline sweep: anything still outstanding past its
+            # deadline is retried (same worker — a late frame is handled
+            # by the request-id discard above) or degraded.
+            now = time.monotonic()
+            for worker_idx in list(outstanding):
+                attempt = outstanding[worker_idx]
+                if attempt.deadline_at is not None and now >= attempt.deadline_at:
+                    self._attempt_failed(
+                        worker_idx, "timeout", outstanding, degraded, stats,
+                        warm,
+                    )
+        return replies, degraded
+
+    def _run_degraded(self, entries: list, warm: bool) -> dict:
+        """Execute one shard's sub-batch on the local fallback service.
+
+        Returns a reply body shaped exactly like a worker's, so the
+        merge path and the accounting are shared: the ``io`` window is
+        measured on the parent engine and sums into ``report.io`` like
+        any other shard window.
+        """
+        from repro.api.client import ReachabilityClient
+
+        with ReachabilityClient(self.service) as client:
+            local = client.run_batch(
+                [request for _, _, request in entries],
+                warm=warm,
+                max_workers=1,
+            )
+        results = [
+            (seq, part_idx, pack_result(result))
+            for (seq, part_idx, _), result in zip(entries, local.results)
+        ]
+        return {
+            "results": results,
+            "io": local.io,
+            "simulated_io_ms": local.simulated_io_ms,
+            "wall_time_s": local.wall_time_s,
+            "worker_wall_s": 0.0,
+            "regions_computed": local.regions_computed,
+            "regions_reused": local.regions_reused,
+            "degraded": len(entries),
+        }
 
     # -- routing -----------------------------------------------------------
 
@@ -317,33 +673,39 @@ class ShardedEngine:
             A :class:`BatchReport` whose ``results``/``plans``/``routes``
             are in submission order and whose ``io`` equals the sum of
             the per-shard windows (``shard_reports``) plus any
-            dispatcher-local fallback window.
+            dispatcher-local fallback window — degraded sub-batches
+            included, since they execute *as* fallback windows.
+
+        Raises:
+            ShardedEngineClosedError: the engine was already closed.
         """
         if self._closed:
-            raise RuntimeError("ShardedEngine is closed")
+            raise ShardedEngineClosedError(
+                "ShardedEngine is closed; build a new one to keep serving"
+            )
         requests = [
             r if isinstance(r, Request) else Request(query=r) for r in requests
         ]
         report = BatchReport()
+        report.deadline_ms = self.deadline_ms
         if not requests:
             return report
         started = time.perf_counter()
         dispatch = self.plan_dispatch(requests)
 
-        # Scatter: one message per worker carrying all its shards' parts.
-        by_conn: dict = {}
+        # Scatter: one attempt per worker carrying all its shards'
+        # parts, each with a deadline and a fresh request id.
+        stats = _FaultStats()
+        jobs: dict[int, dict[int, list]] = {}
         for shard_id, entries in dispatch.per_shard.items():
             if entries:
-                conn = self._conn_of_shard[shard_id]
-                by_conn.setdefault(id(conn), (conn, {}))[1][shard_id] = entries
-        for conn, shard_map in by_conn.values():
-            try:
-                conn.send((MSG_RUN, {"warm": warm, "shards": shard_map}))
-            except (BrokenPipeError, OSError) as exc:
-                raise RuntimeError(
-                    "shard worker died before batch dispatch; workers do "
-                    "not restart mid-session — rebuild the ShardedEngine"
-                ) from exc
+                worker_idx = self._worker_of_shard[shard_id]
+                jobs.setdefault(worker_idx, {})[shard_id] = entries
+        outstanding: dict[int, _Attempt] = {}
+        for worker_idx in sorted(jobs):
+            self._dispatch_attempt(
+                worker_idx, jobs[worker_idx], 0, warm, outstanding, stats
+            )
 
         # Plans and routing decisions are dispatcher-side bookkeeping
         # (identical to what BatchStream records), deduplicated per
@@ -377,30 +739,17 @@ class ShardedEngine:
                     max_workers=1,
                 )
 
-        # Gather.
-        replies: dict[int, dict] = {}
-        waiting = {key: conn for key, (conn, _) in by_conn.items()}
-        while waiting:
-            ready = mp_connection.wait(list(waiting.values()))
-            for conn in ready:
-                try:
-                    kind, body = conn.recv()
-                except EOFError:
-                    raise RuntimeError(
-                        "shard worker exited before replying"
-                    ) from None
-                except (ValueError, TypeError) as exc:
-                    raise RuntimeError(
-                        f"malformed reply frame from shard worker: {exc}"
-                    ) from exc
-                if kind == MSG_ERROR:
-                    raise RuntimeError(f"shard worker failed:\n{body}")
-                if kind != MSG_OK:
-                    raise RuntimeError(
-                        f"unexpected reply kind {kind!r} from shard worker"
-                    )
-                replies.update(body)
-                waiting.pop(id(conn))
+        # Gather under supervision: deadlines, retries, respawns.
+        replies, degraded_jobs = self._gather(outstanding, warm, stats)
+
+        # Graceful degradation: sub-batches that exhausted their retries
+        # re-execute on the local fallback service, so the batch still
+        # completes with full results and exact accounting.
+        for _worker_idx, shard_map in degraded_jobs:
+            for shard_id in sorted(shard_map):
+                replies[shard_id] = self._run_degraded(
+                    shard_map[shard_id], warm
+                )
 
         # Merge.
         parts: dict[int, list[tuple[int, QueryResult]]] = {}
@@ -433,6 +782,7 @@ class ShardedEngine:
             report.simulated_io_ms += body["simulated_io_ms"]
             report.regions_computed += body["regions_computed"]
             report.regions_reused += body["regions_reused"]
+            worker_idx = self._worker_of_shard[shard_id]
             report.shard_reports.append(
                 ShardReport(
                     shard_id=shard_id,
@@ -441,6 +791,9 @@ class ShardedEngine:
                     simulated_io_ms=body["simulated_io_ms"],
                     wall_time_s=body["wall_time_s"],
                     worker_wall_s=body.get("worker_wall_s", 0.0),
+                    worker_restarts=stats.restarts_of.get(worker_idx, 0),
+                    retries=stats.retries_of.get(worker_idx, 0),
+                    degraded_requests=body.get("degraded", 0),
                 )
             )
         if fallback_report is not None:
@@ -449,6 +802,12 @@ class ShardedEngine:
             report.regions_computed += fallback_report.regions_computed
             report.regions_reused += fallback_report.regions_reused
         report.io = total_io
+        report.worker_restarts = stats.worker_restarts
+        report.retries = stats.retries
+        report.stale_frames = stats.stale_frames
+        report.degraded_requests = sum(
+            shard.degraded_requests for shard in report.shard_reports
+        )
         report.wall_time_s = time.perf_counter() - started
         return report
 
@@ -481,25 +840,30 @@ class ShardedEngine:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker processes down (idempotent)."""
-        if self._closed:
+        """Shut the worker processes down.
+
+        Idempotent and dead-worker-safe: a worker that already died (or
+        whose pipe is gone) is skipped past the handshake and still
+        joined/killed, so close never raises on a degraded engine.
+        """
+        if getattr(self, "_closed", True):
             return
         self._closed = True
-        for conn in self._conns:
+        for handle in self._workers.values():
             try:
-                conn.send((MSG_SHUTDOWN,))
-            except (BrokenPipeError, OSError):
-                pass
-        for conn in self._conns:
+                handle.conn.send((MSG_SHUTDOWN,))
+            except (BrokenPipeError, OSError, ValueError):
+                pass  # dead worker or closed pipe: join/kill below
+        for handle in self._workers.values():
             try:
-                conn.close()
+                handle.conn.close()
             except OSError:
                 pass
-        for process in self._processes:
-            process.join(timeout=10)
-            if process.is_alive():  # pragma: no cover - hung worker
-                process.terminate()
-                process.join(timeout=5)
+        for handle in self._workers.values():
+            handle.process.join(timeout=10)
+            if handle.process.is_alive():  # pragma: no cover - hung worker
+                handle.process.terminate()
+                handle.process.join(timeout=5)
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -508,7 +872,11 @@ class ShardedEngine:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
+        # Never raise during interpreter shutdown: attributes may be
+        # missing (failed __init__) or modules already torn down.
         try:
+            if getattr(self, "_closed", True):
+                return
             self.close()
         except Exception:
             pass

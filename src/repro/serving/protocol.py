@@ -2,27 +2,40 @@
 
 Messages are plain tuples sent over ``multiprocessing.Connection``
 (pickle-framed).  The dispatcher speaks first; a worker only ever
-replies.
+replies.  Since protocol version 2 every command/reply pair carries a
+dispatcher-assigned **request id**: the supervisor retries a scatter
+whose deadline expired, and the id is what lets it discard the original
+(late) reply instead of mistaking it for the retry's answer.
 
 Dispatcher -> worker::
 
-    ("run", {"warm": bool,
-             "shards": {shard_id: [(seq, part_idx, Request), ...]}})
+    ("run", request_id, {"version": PROTOCOL_VERSION,
+                         "warm": bool,
+                         "shards": {shard_id: [(seq, part_idx, Request), ...]}})
     ("shutdown",)
 
 Worker -> dispatcher::
 
-    ("ok", {shard_id: {"results": [(seq, part_idx, packed_result), ...],
-                       "io": DiskStats,
-                       "simulated_io_ms": float,
-                       "wall_time_s": float,
-                       "regions_computed": int,
-                       "regions_reused": int}})
-    ("error", traceback_string)
+    ("ok", request_id, {"version": PROTOCOL_VERSION,
+                        "shards": {shard_id: {
+                            "results": [(seq, part_idx, packed_result), ...],
+                            "io": DiskStats,
+                            "simulated_io_ms": float,
+                            "wall_time_s": float,
+                            "regions_computed": int,
+                            "regions_reused": int}}})
+    ("error", request_id, traceback_string)
 
 ``seq`` is the request's position in the dispatcher's batch; ``part_idx``
 distinguishes the per-shard parts of a decomposed cross-shard m-query
-(``0`` for whole requests).
+(``0`` for whole requests).  A reply's ``request_id`` echoes the command
+it answers (``-1`` when the worker could not even parse the command).
+
+:func:`parse_command` and :func:`parse_reply` are the validation
+chokepoints: both sides run every received frame through them and treat
+:class:`ProtocolError` as a malformed peer — the worker answers
+``MSG_ERROR``, the dispatcher's supervisor counts a failed attempt and
+respawns (a corrupt frame means the pipe can no longer be trusted).
 
 Query results dominate reply size, so :func:`pack_result` flattens the
 big set/dict fields into numpy arrays — pickle ships those as one buffer
@@ -33,16 +46,94 @@ an equal :class:`~repro.core.query.QueryResult` on the parent side.
 
 from __future__ import annotations
 
-from typing import Collection
+from typing import Any, Collection, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.query import BoundingRegion, QueryResult
 
+#: Bumped whenever the frame layout changes; both sides verify it so a
+#: stale worker (or a dispatcher driving one) fails loudly instead of
+#: misreading pickled tuples.
+PROTOCOL_VERSION = 2
+
 MSG_RUN = "run"
 MSG_SHUTDOWN = "shutdown"
 MSG_OK = "ok"
 MSG_ERROR = "error"
+
+
+class ProtocolError(RuntimeError):
+    """A frame that does not follow the pipe protocol."""
+
+
+def parse_command(frame: object) -> Tuple[str, int, Optional[Dict[str, Any]]]:
+    """Validate a dispatcher->worker frame.
+
+    Returns ``(kind, request_id, body)``; ``MSG_SHUTDOWN`` has no id or
+    body (``(kind, -1, None)``).  Raises :class:`ProtocolError` on
+    malformed frames and on a protocol-version mismatch.
+    """
+    if not isinstance(frame, tuple) or not frame:
+        raise ProtocolError(f"command frame is not a tuple: {frame!r}")
+    kind = frame[0]
+    if not isinstance(kind, str):
+        raise ProtocolError(f"command kind is not a string: {kind!r}")
+    if kind == MSG_SHUTDOWN:
+        return kind, -1, None
+    if len(frame) != 3:
+        raise ProtocolError(
+            f"command frame {kind!r} has {len(frame)} elements, want 3"
+        )
+    request_id, body = frame[1], frame[2]
+    if not isinstance(request_id, int):
+        raise ProtocolError(f"request id is not an int: {request_id!r}")
+    if not isinstance(body, dict):
+        raise ProtocolError(f"command body is not a dict: {type(body).__name__}")
+    version = body.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    return kind, request_id, body
+
+
+def parse_reply(frame: object) -> Tuple[str, int, Any]:
+    """Validate a worker->dispatcher frame.
+
+    Returns ``(kind, request_id, body)`` where ``body`` is the shard
+    reply map for ``MSG_OK`` and the traceback string for ``MSG_ERROR``.
+    Raises :class:`ProtocolError` on anything else.
+    """
+    if not isinstance(frame, tuple) or len(frame) != 3:
+        raise ProtocolError(f"reply frame is not a 3-tuple: {frame!r}")
+    kind, request_id, body = frame
+    if not isinstance(kind, str):
+        raise ProtocolError(f"reply kind is not a string: {kind!r}")
+    if not isinstance(request_id, int):
+        raise ProtocolError(f"reply request id is not an int: {request_id!r}")
+    if kind == MSG_OK:
+        if not isinstance(body, dict):
+            raise ProtocolError(
+                f"ok body is not a dict: {type(body).__name__}"
+            )
+        version = body.get("version")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: worker speaks {version!r}, "
+                f"dispatcher speaks {PROTOCOL_VERSION}"
+            )
+        if not isinstance(body.get("shards"), dict):
+            raise ProtocolError("ok body has no shard reply map")
+    elif kind == MSG_ERROR:
+        if not isinstance(body, str):
+            raise ProtocolError(
+                f"error body is not a string: {type(body).__name__}"
+            )
+    else:
+        raise ProtocolError(f"unknown reply kind {kind!r}")
+    return kind, request_id, body
 
 
 def _pack_ids(ids: Collection[int]) -> np.ndarray:

@@ -10,11 +10,21 @@ sub-network topology, so the worker builds it lazily exactly as a
 single-process engine would, and its disk appends land at the same page
 ids (the sparse disk preserved the parent's append tail).
 
-A ``("run", ...)`` message carries each hosted shard's sub-batch; the
-worker answers it with a fresh :class:`~repro.core.service.QueryService`
-per message and a **serial** ``run_batch`` — determinism and exact
-accounting beat intra-shard thread parallelism, which the process fan-out
-already provides.
+A ``("run", request_id, ...)`` message carries each hosted shard's
+sub-batch; the worker answers it with a fresh
+:class:`~repro.core.service.QueryService` per message and a **serial**
+``run_batch`` — determinism and exact accounting beat intra-shard thread
+parallelism, which the process fan-out already provides.
+
+Failure semantics: every command is handled in per-message isolation —
+a malformed frame, a version mismatch, or an exception inside
+:func:`_serve_run` answers ``(MSG_ERROR, request_id, traceback)`` and the
+loop keeps serving.  The worker itself never initiates; only process
+death (observed by the dispatcher's supervisor as EOF on the pipe) takes
+it out of rotation.  A :class:`~repro.serving.faults.FaultPlan` threads
+deterministic failures through the two hook points (:meth:`FaultInjector
+.on_recv` / :meth:`FaultInjector.on_run`) so every one of those paths is
+reproducible in tests.
 """
 
 from __future__ import annotations
@@ -24,13 +34,27 @@ import traceback
 from repro.core.engine import ReachabilityEngine
 from repro.core.st_index import STIndex
 from repro.io.persist import network_from_dict
+from repro.serving.faults import (
+    CORRUPT_FRAME,
+    DELAY_RESPONSE,
+    DROP_FRAME,
+    FAULT_EXIT_CODE,
+    KILL_IN_RUN,
+    RAISE_IN_SERVE,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+)
 from repro.serving.partition import ShardPayload
 from repro.serving.protocol import (
     MSG_ERROR,
     MSG_OK,
     MSG_RUN,
     MSG_SHUTDOWN,
+    PROTOCOL_VERSION,
+    ProtocolError,
     pack_result,
+    parse_command,
 )
 from repro.storage.disk import SimulatedDisk
 from repro.trajectory.store import TrajectoryDatabase
@@ -65,12 +89,16 @@ def build_shard_engine(payload: ShardPayload) -> ReachabilityEngine:
     return engine
 
 
-def _serve_run(engines: dict, delta_t_s: int, body: dict) -> dict:
+def _serve_run(
+    engines: dict, delta_t_s: int, body: dict, faults: list | None = None
+) -> dict:
     from time import perf_counter
 
     from repro.api.client import ReachabilityClient
     from repro.core.service import QueryService
 
+    if faults and RAISE_IN_SERVE in faults:
+        raise FaultInjected("injected failure inside _serve_run")
     warm = body["warm"]
     reply = {}
     for shard_id, entries in body["shards"].items():
@@ -102,31 +130,73 @@ def _serve_run(engines: dict, delta_t_s: int, body: dict) -> dict:
     return reply
 
 
-def shard_worker_main(conn, payloads: list) -> None:
+def shard_worker_main(
+    conn,
+    payloads: list,
+    worker_idx: int = 0,
+    incarnation: int = 0,
+    fault_plan: FaultPlan | None = None,
+) -> None:
     """Worker-process entry point (spawn target).
 
     Args:
         conn: the worker's end of the dispatcher pipe.
         payloads: the :class:`ShardPayload` slices this worker hosts.
+        worker_idx: this worker's index (fault targeting + diagnostics).
+        incarnation: 0 for the originally spawned process, +1 per
+            supervisor respawn; fault specs select on it.
+        fault_plan: deterministic failures to inject (tests only).
     """
+    injector = FaultInjector(fault_plan, worker_idx, incarnation)
     try:
         engines = {p.shard_id: build_shard_engine(p) for p in payloads}
         delta_t_s = payloads[0].delta_t_s if payloads else 300
     except Exception:  # pragma: no cover - construction failures
-        conn.send((MSG_ERROR, traceback.format_exc()))
+        conn.send((MSG_ERROR, -1, traceback.format_exc()))
         return
+    # DELAY_RESPONSE parks a computed reply here; it is flushed (late)
+    # just before the *next* command's reply, after the dispatcher's
+    # deadline already expired and retried — the canonical stale frame.
+    deferred: list = []
     while True:
+        injector.on_recv()
         try:
             message = conn.recv()
         except (EOFError, OSError):
             break
-        kind = message[0]
+        try:
+            kind, request_id, body = parse_command(message)
+        except ProtocolError:
+            conn.send((MSG_ERROR, -1, traceback.format_exc()))
+            continue
         if kind == MSG_SHUTDOWN:
             break
-        if kind != MSG_RUN:  # pragma: no cover - protocol misuse
-            conn.send((MSG_ERROR, f"unknown message kind {kind!r}"))
+        if kind != MSG_RUN:
+            conn.send(
+                (MSG_ERROR, request_id, f"unknown message kind {kind!r}")
+            )
             continue
+        faults = injector.on_run()
+        if KILL_IN_RUN in faults:
+            import os
+
+            # Deterministic mid-batch death: the command is received (the
+            # dispatcher has an outstanding attempt), nothing is replied.
+            os._exit(FAULT_EXIT_CODE)
+        for frame in deferred:
+            conn.send(frame)
+        deferred.clear()
         try:
-            conn.send((MSG_OK, _serve_run(engines, delta_t_s, message[1])))
+            shards = _serve_run(engines, delta_t_s, body, faults=faults)
+            reply_body = {"version": PROTOCOL_VERSION, "shards": shards}
+            if DROP_FRAME in faults:
+                continue
+            if CORRUPT_FRAME in faults:
+                conn.send(["not", "a", "protocol", "frame"])
+                continue
+            if DELAY_RESPONSE in faults:
+                deferred.append((MSG_OK, request_id, reply_body))
+                continue
+            conn.send((MSG_OK, request_id, reply_body))
         except Exception:
-            conn.send((MSG_ERROR, traceback.format_exc()))
+            conn.send((MSG_ERROR, request_id, traceback.format_exc()))

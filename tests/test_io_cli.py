@@ -204,6 +204,23 @@ class TestCLI:
         assert "[  4/4]" in progress[-1]
         assert "Batch report" in out and "Bounding regions" in out
 
+    @pytest.mark.sharded
+    def test_batch_sharded_explain_and_fault_row(self, dataset_dir, capsys):
+        code = main([
+            "batch", "--dataset", dataset_dir,
+            "--shards", "2", "--workers", "2",
+            "--deadline-ms", "5000", "--max-retries", "1", "--explain",
+            "--s-queries", "2", "--m-queries", "1", "--r-queries", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend: sharded (2 shards, 2 worker processes" in out
+        assert "deadline 5000 ms, max 1 retries" in out
+        assert "route " in out  # the routing-decision histogram
+        assert "Fault tolerance" in out
+        assert "0 worker restarts / 0 retries / 0 degraded" in out
+        assert "Shard 0" in out and "Shard 1" in out
+
     def test_batch_forced_algorithm_applies_per_kind(self, dataset_dir, capsys):
         """A forced algorithm covers the kinds that register it; the
         rest of the mixed workload stays auto-routed."""

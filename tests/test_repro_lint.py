@@ -756,6 +756,26 @@ class TestReintroducedViolationsFailGate:
             for f in findings
         )
 
+    def test_rl010_unguarded_recv_on_gather_path(self, src_copy):
+        # Acceptance criterion: re-introducing a bare conn.recv() on the
+        # supervised gather path (bypassing _poll_workers) fails the gate.
+        dispatcher = src_copy / "repro" / "serving" / "dispatcher.py"
+        text = dispatcher.read_text(encoding="utf-8")
+        needle = "            events = self._poll_workers(sorted(outstanding), timeout_s)\n"
+        assert needle in text
+        text = text.replace(
+            needle,
+            "            frame = self._workers[0].conn.recv()\n" + needle,
+            1,
+        )
+        dispatcher.write_text(text, encoding="utf-8")
+        findings = [f for f in self.lint(src_copy) if f.rule == "RL010"]
+        assert findings and any(
+            "unbounded blocking wait" in f.message
+            and "_gather" in f.message
+            for f in findings
+        )
+
 
 class TestLockGraphCli:
     """--write-lock-graph / --check-lock-graph: the committed-artifact
@@ -1312,4 +1332,133 @@ class TestRL009Protocol:
 
     def test_no_protocol_module_is_a_noop(self, tmp_path):
         findings = lint_tree(tmp_path, {"mod.py": "x = 1\n"}, select=["RL009"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL010 — blocking-recv discipline
+# ---------------------------------------------------------------------------
+
+
+class TestRL010RecvDeadline:
+    GOOD = textwrap.dedent(
+        """
+        from multiprocessing import connection as mp_connection
+
+        class ShardedEngine:
+            def run_batch(self, requests):
+                outstanding = {0: "attempt"}
+                return self._gather(outstanding)
+
+            def _gather(self, outstanding):
+                replies = []
+                while outstanding:
+                    for conn, frame in self._poll_workers(outstanding, 0.5):
+                        replies.append(frame)
+                        outstanding.popitem()
+                return replies
+
+            # repro-lint: deadline-wait
+            def _poll_workers(self, outstanding, timeout_s):
+                ready = mp_connection.wait(list(outstanding), timeout_s)
+                return [(conn, conn.recv()) for conn in ready]
+        """
+    )
+
+    def test_guarded_gather_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, self.GOOD, name="serving/dispatcher.py", select=["RL010"]
+        )
+        assert findings == []
+
+    def test_direct_recv_on_gather_path_fails(self, tmp_path):
+        bad = self.GOOD.replace(
+            "            for conn, frame in self._poll_workers(outstanding, 0.5):\n"
+            "                replies.append(frame)\n",
+            "            for conn in list(outstanding):\n"
+            "                replies.append(conn.recv())\n",
+        )
+        assert bad != self.GOOD
+        findings = lint_snippet(
+            tmp_path, bad, name="serving/dispatcher.py", select=["RL010"]
+        )
+        assert any(
+            f.rule == "RL010"
+            and "unbounded blocking wait" in f.message
+            and "run_batch" in f.message  # the witness chain names the entry
+            and "_gather" in f.message
+            for f in findings
+        )
+
+    def test_recv_in_entry_point_itself_fails(self, tmp_path):
+        bad = self.GOOD.replace(
+            "        outstanding = {0: \"attempt\"}\n",
+            "        outstanding = {0: \"attempt\"}\n"
+            "        peek = self.conn.recv()\n",
+        )
+        assert bad != self.GOOD
+        findings = lint_snippet(
+            tmp_path, bad, name="serving/dispatcher.py", select=["RL010"]
+        )
+        assert any(
+            f.rule == "RL010" and ".recv()" in f.message for f in findings
+        )
+
+    def test_wait_without_timeout_fails(self, tmp_path):
+        # unbounded wait directly in a *non-barrier* function on the path
+        bad = self.GOOD.replace(
+            "            for conn, frame in self._poll_workers(outstanding, 0.5):\n"
+            "                replies.append(frame)\n",
+            "            for conn in mp_connection.wait(list(outstanding)):\n"
+            "                replies.append(conn)\n",
+        )
+        assert bad != self.GOOD
+        findings = lint_snippet(
+            tmp_path, bad, name="serving/dispatcher.py", select=["RL010"]
+        )
+        assert any(
+            f.rule == "RL010" and "without a timeout" in f.message
+            for f in findings
+        )
+
+    def test_annotated_helper_is_a_barrier(self, tmp_path):
+        # A custom audited helper (not named _poll_workers) is trusted
+        # once annotated `# repro-lint: deadline-wait`.
+        source = self.GOOD.replace("_poll_workers", "_bounded_poll")
+        findings = lint_snippet(
+            tmp_path, source, name="serving/dispatcher.py", select=["RL010"]
+        )
+        assert findings == []
+        unannotated = source.replace(
+            "# repro-lint: deadline-wait\n", "# just a helper\n"
+        )
+        assert unannotated != source
+        findings = lint_snippet(
+            tmp_path, unannotated, name="serving/dispatcher2.py", select=["RL010"]
+        )
+        assert any(f.rule == "RL010" for f in findings)
+
+    def test_worker_recv_out_of_scope(self, tmp_path):
+        # The worker loop's idle recv is a spawn target, not a callee of
+        # run_batch: it must not be flagged.
+        tree = {
+            "serving/dispatcher.py": self.GOOD,
+            "serving/worker.py": (
+                """
+                def shard_worker_main(conn):
+                    while True:
+                        message = conn.recv()
+                        if message is None:
+                            break
+                """
+            ),
+        }
+        assert lint_tree(tmp_path, tree, select=["RL010"]) == []
+
+    def test_no_sharded_engine_is_a_noop(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def plain(conn):\n    return conn.recv()\n",
+            select=["RL010"],
+        )
         assert findings == []

@@ -187,18 +187,23 @@ def test_result_roundtrip(engine):
 @pytest.mark.sharded
 class TestLifecycle:
     def test_close_terminates_workers_and_is_idempotent(self, test_dataset):
+        from repro.serving import ShardedEngineClosedError
+
         sharded = ShardedEngine(fresh_engine(test_dataset), shards=2)
-        processes = list(sharded._processes)
+        processes = [h.process for h in sharded._workers.values()]
         assert all(p.is_alive() for p in processes)
         sharded.close()
         assert all(not p.is_alive() for p in processes)
         sharded.close()  # idempotent
+        with pytest.raises(ShardedEngineClosedError):
+            sharded.run_batch(mixed_requests(test_dataset.network, 1, 0))
+        # the typed error subclasses RuntimeError for old call sites
         with pytest.raises(RuntimeError):
             sharded.run_batch(mixed_requests(test_dataset.network, 1, 0))
 
     def test_context_manager(self, test_dataset):
         with ShardedEngine(fresh_engine(test_dataset), shards=2) as sharded:
-            processes = list(sharded._processes)
+            processes = [h.process for h in sharded._workers.values()]
             report = sharded.run_batch(
                 mixed_requests(test_dataset.network, 2, 0)
             )
@@ -211,7 +216,9 @@ class TestLifecycle:
         ) as client:
             report = client.run_batch(mixed_requests(test_dataset.network, 2, 0))
             assert report.shard_reports
-            processes = list(client._sharded._processes)
+            processes = [
+                h.process for h in client._sharded._workers.values()
+            ]
             assert all(p.is_alive() for p in processes)
         assert all(not p.is_alive() for p in processes)
         assert client._sharded is None
@@ -337,44 +344,77 @@ class TestProtocolErrorPaths:
     worker loop; a dead worker surfaces as RuntimeError, not a hang."""
 
     def test_unknown_message_kind_gets_structured_error(self):
-        from repro.serving.protocol import MSG_ERROR, MSG_SHUTDOWN
-        from repro.serving.worker import shard_worker_main
-
-        conn = _ScriptedConn([("bogus", None), (MSG_SHUTDOWN,)])
-        shard_worker_main(conn, [])
-        assert len(conn.sent) == 1
-        kind, body = conn.sent[0]
-        assert kind == MSG_ERROR
-        assert "unknown message kind" in body
-        assert "bogus" in body
-
-    def test_malformed_frame_survives_and_replies_error(self):
-        # A subscriptable-but-garbage frame must not kill the loop: the
-        # worker answers MSG_ERROR and keeps serving the next message.
-        from repro.serving.protocol import MSG_ERROR, MSG_SHUTDOWN
-        from repro.serving.worker import shard_worker_main
-
-        conn = _ScriptedConn(["zz", ("still-bogus", 1), (MSG_SHUTDOWN,)])
-        shard_worker_main(conn, [])
-        assert [kind for kind, _ in conn.sent] == [MSG_ERROR, MSG_ERROR]
-
-    def test_failing_run_replies_error_with_traceback(self):
-        # A MSG_RUN for a shard the worker does not host fails inside
-        # _serve_run; the reply must carry the traceback, and the loop
-        # must stay alive for the next frame.
-        from repro.serving.protocol import MSG_ERROR, MSG_RUN, MSG_SHUTDOWN
+        from repro.serving.protocol import (
+            MSG_ERROR,
+            MSG_SHUTDOWN,
+            PROTOCOL_VERSION,
+        )
         from repro.serving.worker import shard_worker_main
 
         conn = _ScriptedConn(
             [
-                (MSG_RUN, {"warm": False, "shards": {99: []}}),
+                ("bogus", 7, {"version": PROTOCOL_VERSION}),
                 (MSG_SHUTDOWN,),
             ]
         )
         shard_worker_main(conn, [])
         assert len(conn.sent) == 1
-        kind, body = conn.sent[0]
+        kind, request_id, body = conn.sent[0]
         assert kind == MSG_ERROR
+        assert request_id == 7  # echoes the offending command's id
+        assert "unknown message kind" in body
+        assert "bogus" in body
+
+    def test_malformed_frame_survives_and_replies_error(self):
+        # A garbage frame or a version-less command must not kill the
+        # loop: the worker answers MSG_ERROR and keeps serving.
+        from repro.serving.protocol import MSG_ERROR, MSG_RUN, MSG_SHUTDOWN
+        from repro.serving.worker import shard_worker_main
+
+        conn = _ScriptedConn(
+            [
+                "zz",  # not a tuple
+                (MSG_RUN, 1, {"warm": False}),  # missing protocol version
+                (MSG_SHUTDOWN,),
+            ]
+        )
+        shard_worker_main(conn, [])
+        assert [kind for kind, _, _ in conn.sent] == [MSG_ERROR, MSG_ERROR]
+        # parse failures happen before the id is trusted: both carry -1
+        assert [rid for _, rid, _ in conn.sent] == [-1, -1]
+        assert "version" in conn.sent[1][2]
+
+    def test_failing_run_replies_error_with_traceback(self):
+        # A MSG_RUN for a shard the worker does not host fails inside
+        # _serve_run; the reply must carry the traceback, and the loop
+        # must stay alive for the next frame.
+        from repro.serving.protocol import (
+            MSG_ERROR,
+            MSG_RUN,
+            MSG_SHUTDOWN,
+            PROTOCOL_VERSION,
+        )
+        from repro.serving.worker import shard_worker_main
+
+        conn = _ScriptedConn(
+            [
+                (
+                    MSG_RUN,
+                    3,
+                    {
+                        "version": PROTOCOL_VERSION,
+                        "warm": False,
+                        "shards": {99: []},
+                    },
+                ),
+                (MSG_SHUTDOWN,),
+            ]
+        )
+        shard_worker_main(conn, [])
+        assert len(conn.sent) == 1
+        kind, request_id, body = conn.sent[0]
+        assert kind == MSG_ERROR
+        assert request_id == 3
         assert "Traceback" in body and "KeyError" in body
 
     def test_pipe_eof_exits_worker_loop_cleanly(self):
@@ -384,25 +424,39 @@ class TestProtocolErrorPaths:
         shard_worker_main(conn, [])  # must return, not raise
         assert conn.sent == []
 
-    def test_worker_death_mid_session_raises(self, test_dataset):
+    def test_worker_death_mid_session_recovers(self, test_dataset):
+        # Pre-PR-9 this raised out of run_batch; the supervisor now
+        # respawns every killed worker from its retained payloads and
+        # the batch completes (deeper matrix: tests/test_serving_faults.py).
         sharded = ShardedEngine(fresh_engine(test_dataset), shards=2)
         try:
-            for process in sharded._processes:
-                process.kill()
-            for process in sharded._processes:
-                process.join(timeout=10)
-            with pytest.raises(RuntimeError, match="shard worker"):
-                sharded.run_batch(mixed_requests(test_dataset.network, 2, 0))
+            for handle in sharded._workers.values():
+                handle.process.kill()
+            for handle in sharded._workers.values():
+                handle.process.join(timeout=10)
+            report = sharded.run_batch(
+                mixed_requests(test_dataset.network, 2, 0)
+            )
+            assert len(report.results) == 5
+            assert report.worker_restarts >= 2
         finally:
             sharded.close()
 
     def test_double_close_after_failure_is_safe(self, test_dataset):
+        from repro.serving import ShardedEngineClosedError
+
         sharded = ShardedEngine(fresh_engine(test_dataset), shards=2)
-        for process in sharded._processes:
-            process.kill()
-        for process in sharded._processes:
-            process.join(timeout=10)
+        for handle in sharded._workers.values():
+            handle.process.kill()
+        for handle in sharded._workers.values():
+            handle.process.join(timeout=10)
         sharded.close()  # pipes to dead workers: must swallow the errors
         sharded.close()  # and stay idempotent
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ShardedEngineClosedError):
             sharded.run_batch(mixed_requests(test_dataset.network, 1, 0))
+
+    def test_del_never_raises_without_init(self):
+        # __del__ on a half-constructed engine (e.g. __init__ raised
+        # before _closed was assigned) must stay silent at GC time.
+        broken = ShardedEngine.__new__(ShardedEngine)
+        broken.__del__()  # no AttributeError, no output

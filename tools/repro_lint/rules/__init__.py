@@ -10,4 +10,5 @@ from tools.repro_lint.rules import (  # noqa: F401
     rl007_accounting_flow,
     rl008_counter_drift,
     rl009_protocol,
+    rl010_recv_deadline,
 )
