@@ -17,7 +17,12 @@ Writes ``BENCH_io.json`` with four sections:
 * ``batch_throughput`` — ``QueryService.run_batch`` over the mixed
   workload of ``bench_probability.py`` (same protocol as the PR 4
   baseline, whose committed full-mode figure was 248.1 q/s), with
-  queries/s and the speedup over that baseline.
+  queries/s and the speedup over that baseline;
+* ``cold_start`` — the durable tier's reopen path: ``save_store`` once,
+  then time ``open_store`` (superblock + sidecar verify, journal
+  replay, lazy page map — no page payloads read) and the first cold
+  batch against it, reporting the fraction of pages actually faulted
+  and the warm/cold throughput ratio.
 
 Every end-to-end comparison asserts result sets and page-read
 accounting are identical between the batched and scalar paths — the
@@ -147,6 +152,62 @@ def bench_build(engine, settings, repeat: int) -> dict:
     }
 
 
+def bench_cold_start(engine, settings, batch_size: int, repeat: int) -> dict:
+    """Durable-store cold start: open_store + first batch vs warm RAM."""
+    import tempfile
+
+    from repro.core.service import QueryService
+    from repro.eval.workload import QueryWorkload
+    from repro.io.persist import open_store, save_store
+    from repro.storage.backends import FileBackedDisk
+
+    workload = QueryWorkload(engine.network, seed=23)
+    batch = workload.mixed_batch(
+        batch_size, max(1, batch_size // 4), start_time_s=settings.start_time_s
+    )
+
+    def run_warm():
+        service = QueryService(engine, delta_t_s=settings.delta_t_s)
+        return service.run_batch(batch, delta_t_s=settings.delta_t_s)
+
+    run_warm()  # ensure the ST-Index (and con-index entries) exist
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "store"
+        save_started = time.perf_counter()
+        save_store(engine, store, settings.delta_t_s)
+        save_ms = (time.perf_counter() - save_started) * 1e3
+
+        open_ms = median_ms(lambda: open_store(store), repeat)
+
+        def run_cold():
+            reopened = open_store(store)
+            service = QueryService(reopened, delta_t_s=settings.delta_t_s)
+            report = service.run_batch(batch, delta_t_s=settings.delta_t_s)
+            return reopened.disk, report
+
+        cold_ms = median_ms(run_cold, repeat)
+        warm_ms = median_ms(run_warm, repeat)
+        disk, cold_report = run_cold()
+        assert isinstance(disk, FileBackedDisk)
+        warm_report = run_warm()
+        assert [r.segments for r in cold_report.results] == [
+            r.segments for r in warm_report.results
+        ], "cold store changed results"
+
+    return {
+        "store_pages": disk.num_pages,
+        "page_size": disk.page_size,
+        "save_ms": round(save_ms, 1),
+        "open_ms": round(open_ms, 3),
+        "batch_queries": len(batch),
+        "cold_batch_ms": round(cold_ms, 3),
+        "warm_batch_ms": round(warm_ms, 3),
+        "cold_over_warm": round(cold_ms / warm_ms, 2) if warm_ms > 0 else None,
+        "pages_faulted": disk.pages_faulted,
+        "faulted_fraction": round(disk.pages_faulted / disk.num_pages, 4),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -174,6 +235,9 @@ def main() -> None:
     build = bench_build(engine, settings, max(1, repeat // 3))
     sweep = bench_fig41_sweep(engine, settings, durations, repeat)
     throughput = bench_batch_throughput(engine, settings, batch_size, repeat)
+    cold_start = bench_cold_start(
+        engine, settings, batch_size, max(1, repeat // 3)
+    )
     if not args.quick:
         # The PR 4 baseline was measured in the full configuration (large
         # dataset, batch of 20); comparing quick-mode numbers against it
@@ -203,6 +267,7 @@ def main() -> None:
         "build": build,
         "fig41_sweep": sweep,
         "batch_throughput": throughput,
+        "cold_start": cold_start,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -69,6 +69,13 @@ class ReachabilityClient:
             :class:`~repro.serving.ShardedEngine`).
         max_retries: bounded-retry limit per scatter for the sharded
             backend (default ``None`` = the engine's default).
+        disk_backend: storage backend for a bare-engine target —
+            ``"sim"`` (in-RAM, the default) or ``"file"`` (the durable
+            :class:`~repro.storage.backends.FileBackedDisk`).  Applied
+            via :meth:`ReachabilityEngine.use_disk`, so it must be set
+            before the engine builds its first index; ``None`` keeps
+            whatever disk the engine already has.
+        disk_path: store directory for ``disk_backend="file"``.
     """
 
     def __init__(
@@ -81,9 +88,26 @@ class ReachabilityClient:
         shard_workers: int | None = None,
         deadline_ms: float | None = None,
         max_retries: int | None = None,
+        disk_backend: str | None = None,
+        disk_path: str | None = None,
     ) -> None:
         if backend not in ("threaded", "sharded"):
             raise ValueError(f"unknown backend {backend!r}")
+        if disk_backend is not None:
+            from repro.storage.backends import create_disk
+
+            if not isinstance(target, ReachabilityEngine):
+                raise ValueError(
+                    "disk_backend applies to a bare engine target; services "
+                    "already carry a configured engine"
+                )
+            target.use_disk(
+                create_disk(
+                    disk_backend, path=disk_path, page_size=target.disk.page_size,
+                    read_latency_ms=target.disk.read_latency_ms,
+                    write_latency_ms=target.disk.write_latency_ms,
+                )
+            )
         self.service = as_service(target)
         self.router = router if router is not None else Router()
         self.max_workers = max_workers
@@ -96,6 +120,34 @@ class ReachabilityClient:
         self._pool_lock = threading.Lock()
         self._sharded = None  # guarded_by: _sharded_lock
         self._sharded_lock = threading.Lock()
+
+    # -- durable stores ----------------------------------------------------
+
+    @classmethod
+    def open(cls, path, crash_plan=None, readonly: bool = False, **kwargs):
+        """Open a :func:`~repro.io.persist.save_store` bundle as a client.
+
+        The cold-start entry point: the returned client serves queries
+        immediately, faulting checksum-verified data pages in from the
+        durable store on demand instead of loading everything up front.
+        Extra keyword arguments go to the constructor.
+        """
+        from repro.io.persist import open_store
+
+        engine = open_store(path, crash_plan=crash_plan, readonly=readonly)
+        # The store's index granularity becomes the client's default Δt,
+        # so un-optioned requests hit the restored index instead of
+        # triggering a from-scratch build at the service default.
+        delta_t_s = next(iter(engine._st_indexes), None)
+        if delta_t_s is not None:
+            return cls(QueryService(engine, delta_t_s=delta_t_s), **kwargs)
+        return cls(engine, **kwargs)
+
+    def save(self, path):
+        """Persist this client's engine as a durable store bundle."""
+        from repro.io.persist import save_store
+
+        return save_store(self.engine, path, self.delta_t_s)
 
     # -- conveniences ------------------------------------------------------
 

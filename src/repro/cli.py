@@ -10,6 +10,9 @@ Subcommands::
     python -m repro rquery  --dataset DIR --x 0 --y 0 ...
     python -m repro batch   --dataset DIR --s-queries 20 --m-queries 5 \
                             --r-queries 2 --workers 4 [--shards K]
+    python -m repro save    --dataset DIR --store STORE
+    python -m repro open    --store STORE [--x 0 --y 0 ...]
+    python -m repro batch   --open STORE --s-queries 20 ...
 
 ``build-dataset`` generates and persists a synthetic ShenzhenLike dataset;
 the query commands load it, build indexes, and answer through the
@@ -22,6 +25,15 @@ printing one progress line per completed response (with its direction
 and route) before the batch report.  Algorithm choices come straight
 from the executor registry, so registered third-party algorithms are
 selectable without CLI changes.
+
+Durable stores: every query command accepts ``--disk file --disk-path
+DIR`` to route index pages onto the crash-safe
+:class:`~repro.storage.backends.FileBackedDisk`; ``save`` builds the
+indexes directly onto the file backend and persists a store bundle,
+``open`` cold-opens one (journal replayed, pages faulted in
+checksum-verified on demand) and answers a query from it, and ``batch
+--open STORE`` serves a whole workload from the bundle without touching
+the original dataset.
 """
 
 from __future__ import annotations
@@ -80,6 +92,16 @@ def _add_query_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--explain", action="store_true",
                         help="print the routing decision and query plan "
                              "before executing")
+    _add_disk_args(parser)
+
+
+def _add_disk_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--disk", choices=("sim", "file"), default="sim",
+                        help="storage backend for index pages: 'sim' "
+                             "(in-RAM, default) or 'file' (durable "
+                             "checksummed store; needs --disk-path)")
+    parser.add_argument("--disk-path", default=None,
+                        help="store directory for --disk file")
 
 
 class CLIError(Exception):
@@ -92,10 +114,14 @@ def _load_client(
     workers: int | None = None,
     deadline_ms: float | None = None,
     max_retries: int | None = None,
+    disk: str = "sim",
+    disk_path: str | None = None,
 ) -> tuple:
     from repro.core.engine import ReachabilityEngine
     from repro.io.persist import load_dataset
 
+    if disk == "file" and disk_path is None:
+        raise CLIError("--disk file needs --disk-path DIR")
     try:
         dataset = load_dataset(dataset_dir)
     except FileNotFoundError as exc:
@@ -105,6 +131,7 @@ def _load_client(
             f"{dataset_dir}"
         ) from exc
     engine = ReachabilityEngine(dataset.network, dataset.database)
+    disk_backend = disk if disk != "sim" else None
     if shards > 0:
         return dataset, ReachabilityClient(
             engine,
@@ -113,8 +140,21 @@ def _load_client(
             shard_workers=workers,
             deadline_ms=deadline_ms,
             max_retries=max_retries,
+            disk_backend=disk_backend,
+            disk_path=disk_path,
         )
-    return dataset, ReachabilityClient(engine)
+    return dataset, ReachabilityClient(
+        engine, disk_backend=disk_backend, disk_path=disk_path
+    )
+
+
+def _open_store_client(path: str, **kwargs) -> ReachabilityClient:
+    from repro.io.persist import PersistFormatError
+
+    try:
+        return ReachabilityClient.open(path, **kwargs)
+    except PersistFormatError as exc:
+        raise CLIError(f"cannot open store at {path!r}: {exc}") from exc
 
 
 def _print_response(args, dataset, response) -> int:
@@ -190,7 +230,9 @@ def cmd_describe(args) -> int:
 
 
 def _run_query(args, direction: str, query) -> int:
-    dataset, client = _load_client(args.dataset)
+    dataset, client = _load_client(
+        args.dataset, disk=args.disk, disk_path=args.disk_path
+    )
     request = Request(
         query,
         QueryOptions(
@@ -241,18 +283,102 @@ def cmd_rquery(args) -> int:
     return _run_query(args, "reverse", query)
 
 
+def cmd_save(args) -> int:
+    from repro.io.persist import save_store
+
+    store = Path(args.store)
+    # Route the index build onto a FileBackedDisk living *inside* the
+    # store directory: every page written during the build is already
+    # durable, so save_store takes the page-stable in-place path
+    # (directory snapshot + checkpoint) instead of re-exporting pages.
+    dataset, client = _load_client(
+        args.dataset, disk="file", disk_path=str(store / "disk")
+    )
+    with client:
+        save_store(client.engine, store, args.delta_t * 60)
+        disk = client.engine.disk
+        print(
+            f"store saved to {store} (Δt {args.delta_t} min, "
+            f"generation {disk.generation}, "
+            f"{disk.num_pages} pages x {disk.page_size} B)"
+        )
+    return 0
+
+
+def cmd_open(args) -> int:
+    from types import SimpleNamespace
+
+    client = _open_store_client(args.store)
+    with client:
+        disk = client.engine.disk
+        print(
+            f"opened store {args.store}: generation {disk.generation}, "
+            f"{disk.num_pages} pages x {disk.page_size} B, "
+            f"{disk.journal_record_count} journal record(s), "
+            f"Δt {client.delta_t_s // 60} min"
+        )
+        query = SQuery(
+            location=Point(args.x, args.y),
+            start_time_s=args.time,
+            duration_s=args.duration * 60.0,
+            prob=args.prob,
+        )
+        request = Request(
+            query,
+            QueryOptions(
+                direction="forward",
+                algorithm=args.algorithm,
+                delta_t_s=client.delta_t_s,
+                cost_budget_ms=args.budget,
+            ),
+        )
+        response = client.send(request)
+        code = _print_response(
+            args, SimpleNamespace(network=client.network), response
+        )
+        print(
+            f"cold pages faulted: {disk.pages_faulted}/{disk.num_pages} "
+            "(checksum-verified on demand)"
+        )
+    return code
+
+
 def cmd_batch(args) -> int:
     from repro.core.query import MQuery
     from repro.eval.tables import format_batch_report
     from repro.eval.workload import QueryWorkload
 
-    dataset, client = _load_client(
-        args.dataset,
-        shards=args.shards,
-        workers=args.workers,
-        deadline_ms=args.deadline_ms,
-        max_retries=args.max_retries,
-    )
+    if args.open is not None:
+        if args.dataset is not None:
+            raise CLIError("batch takes --dataset or --open, not both")
+        sharded_kwargs = (
+            dict(
+                backend="sharded",
+                shards=args.shards,
+                shard_workers=args.workers,
+                deadline_ms=args.deadline_ms,
+                max_retries=args.max_retries,
+            )
+            if args.shards > 0
+            else {}
+        )
+        client = _open_store_client(args.open, **sharded_kwargs)
+        network = client.network
+        # The store bundle fixes the index granularity; --delta-t would
+        # trigger a from-scratch build against a stats-only database.
+        delta_t_s = client.delta_t_s
+    elif args.dataset is None:
+        raise CLIError("batch needs --dataset DIR (or --open STORE)")
+    else:
+        dataset, client = _load_client(
+            args.dataset,
+            shards=args.shards,
+            workers=args.workers,
+            deadline_ms=args.deadline_ms,
+            max_retries=args.max_retries,
+        )
+        network = dataset.network
+        delta_t_s = args.delta_t * 60
     # No algorithm name is registered for every kind, so a forced
     # --algorithm applies to the kinds that register it and the rest of
     # the mixed workload stays auto-routed.
@@ -272,7 +398,7 @@ def cmd_batch(args) -> int:
             return args.algorithm
         return AUTO
 
-    workload = QueryWorkload(dataset.network, seed=args.seed)
+    workload = QueryWorkload(network, seed=args.seed)
     requests = [
         Request(
             query,
@@ -280,7 +406,7 @@ def cmd_batch(args) -> int:
                 algorithm=algorithm_for(
                     "m" if isinstance(query, MQuery) else "s"
                 ),
-                delta_t_s=args.delta_t * 60,
+                delta_t_s=delta_t_s,
             ),
         )
         for query in workload.mixed_batch(
@@ -296,7 +422,7 @@ def cmd_batch(args) -> int:
     reverse_options = QueryOptions(
         direction="reverse",
         algorithm=algorithm_for("r"),
-        delta_t_s=args.delta_t * 60,
+        delta_t_s=delta_t_s,
         tag="reverse",
     )
     requests.extend(
@@ -407,10 +533,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rquery.set_defaults(func=cmd_rquery)
 
+    save = sub.add_parser(
+        "save",
+        help="build indexes onto the durable file backend and persist "
+             "a crash-safe store bundle",
+    )
+    save.add_argument("--dataset", required=True, help="dataset directory")
+    save.add_argument("--store", required=True, help="output store directory")
+    save.add_argument("--delta-t", type=int, default=5,
+                      help="index granularity Δt in minutes (default 5)")
+    save.set_defaults(func=cmd_save)
+
+    open_cmd = sub.add_parser(
+        "open",
+        help="cold-open a saved store and answer one query from it",
+    )
+    open_cmd.add_argument("--store", required=True, help="store directory")
+    open_cmd.add_argument("--x", type=float, default=0.0)
+    open_cmd.add_argument("--y", type=float, default=0.0)
+    open_cmd.add_argument("--time", type=_parse_time, default=day_time(11),
+                          help="start time of day (default 11:00)")
+    open_cmd.add_argument("--duration", type=float, default=10.0,
+                          help="duration L in minutes (default 10)")
+    open_cmd.add_argument("--prob", type=float, default=0.2)
+    open_cmd.add_argument("--budget", type=float, default=None)
+    open_cmd.add_argument(
+        "--algorithm", choices=(AUTO, *executor_names("s")), default=AUTO,
+    )
+    open_cmd.add_argument("--geojson", type=Path, default=None,
+                          help="write the region to this GeoJSON file")
+    open_cmd.add_argument("--no-map", action="store_true",
+                          help="skip the ASCII map")
+    open_cmd.set_defaults(func=cmd_open)
+
     batch = sub.add_parser(
         "batch", help="stream a random workload through the client"
     )
-    batch.add_argument("--dataset", required=True, help="dataset directory")
+    batch.add_argument("--dataset", default=None,
+                       help="dataset directory (or use --open)")
+    batch.add_argument("--open", default=None, metavar="STORE",
+                       help="serve the batch from a saved store bundle "
+                            "instead of building from a dataset")
     batch.add_argument("--s-queries", type=int, default=20,
                        help="number of s-queries (default 20)")
     batch.add_argument("--m-queries", type=int, default=5,

@@ -77,6 +77,22 @@ class ReachabilityEngine:
         self._con_indexes: dict[int, ConnectionIndex] = {}
         self._data_change_hooks: list = []
 
+    def use_disk(self, disk: SimulatedDisk) -> None:
+        """Swap the storage backend before any index is built.
+
+        Lets a caller route all index pages onto a durable
+        :class:`~repro.storage.backends.FileBackedDisk` (or any other
+        backend honouring the :class:`SimulatedDisk` contract).  Raises
+        once indexes exist: they hold extent pointers into the old
+        disk's pages, which a new backend cannot serve.
+        """
+        if self._st_indexes or self._con_indexes:
+            raise RuntimeError(
+                "cannot swap the disk backend after indexes are built; "
+                "swap first or drop_indexes() and rebuild"
+            )
+        self.disk = disk
+
     def register_data_change_hook(self, callback) -> None:
         """Call ``callback`` whenever engine-level data/indexes change.
 

@@ -35,7 +35,7 @@ from repro.spatial.geometry import Point
 from repro.spatial.rtree import RTree
 from repro.storage.disk import SimulatedDisk
 from repro.storage.pagestore import BufferPool, PageStore, RecordPointer
-from repro.storage.serialization import SerializationError
+from repro.storage.serialization import SerializationError, encode_append_delta
 from repro.trajectory.model import SECONDS_PER_DAY
 from repro.trajectory.store import TrajectoryDatabase
 
@@ -403,11 +403,27 @@ class STIndex:
                 second = int(min(max(0.0, visit.time_s), SECONDS_PER_DAY - 1))
                 per_date = pending.setdefault((visit.segment_id, slot), {})
                 per_date.setdefault(date, set()).add((trajectory_id, second))
+        delta: list[tuple[int, int, int, int, int, int]] = []
         for key in sorted(pending):
             per_date = {d: sorted(visits) for d, visits in pending[key].items()}
             pointer = self._store.append(encode_time_list(per_date))
             self._directory.setdefault(key, []).append(pointer)
+            delta.append(
+                (
+                    key[0],
+                    key[1],
+                    pointer.first_page,
+                    pointer.num_pages,
+                    pointer.offset,
+                    pointer.length,
+                )
+            )
         self._store.flush()
+        # Durability barrier: on a durable backend this journals every
+        # page the append touched plus the directory delta, so the new
+        # visits survive a crash without a snapshot rewrite.  On the
+        # in-RAM backend it is a no-op.
+        self.disk.commit(meta=encode_append_delta(self.delta_t_s, delta))
         # (Tail-page cache coherence is handled by the disk's write-through
         # invalidation of attached pools.)  The window-gather memo is keyed
         # by segment, not pointer, so grown chains must invalidate it; the

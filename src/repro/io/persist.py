@@ -21,6 +21,7 @@ Formats:
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
 from pathlib import Path
 
@@ -36,6 +37,41 @@ FORMAT_VERSION = 1
 #: Version of the ST-Index ``.npz`` layout — independent of the dataset
 #: formats above, so evolving one cannot invalidate saves of the other.
 ST_INDEX_FORMAT_VERSION = 1
+
+#: Version of the durable store-bundle directory layout (:func:`save_store`).
+STORE_FORMAT_VERSION = 1
+
+
+class PersistFormatError(ValueError):
+    """A persisted artifact cannot be interpreted by this code.
+
+    Raised for truncated or garbage files, wrong magic, unsupported
+    format versions and shape/geometry violations found during loading —
+    always with a message naming the file and the problem, never a raw
+    ``numpy``/``zipfile``/``KeyError`` surfacing from the codec guts.
+    Subclasses :class:`ValueError`, so callers that guarded against the
+    old untyped raises keep working.
+    """
+
+
+def _open_npz(path: Path, what: str):
+    """``np.load`` with failures mapped to :class:`PersistFormatError`."""
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, OSError, ValueError, ...
+        raise PersistFormatError(
+            f"{what} file {path} is not a readable .npz archive: {exc}"
+        ) from None
+
+
+def _npz_fields(data, keys: tuple[str, ...], what: str, path: Path) -> None:
+    missing = [key for key in keys if key not in data]
+    if missing:
+        raise PersistFormatError(
+            f"{what} file {path} is missing required arrays: {', '.join(missing)}"
+        )
 
 
 # -- road networks ------------------------------------------------------------
@@ -142,9 +178,30 @@ def save_database(database: TrajectoryDatabase, path: str | Path) -> Path:
 
 def load_database(path: str | Path) -> TrajectoryDatabase:
     """Inverse of :func:`save_database`."""
-    with np.load(Path(path)) as data:
+    path = Path(path)
+    with _open_npz(path, "database") as data:
+        _npz_fields(
+            data,
+            (
+                "version",
+                "num_taxis",
+                "num_days",
+                "trajectory_ids",
+                "taxi_ids",
+                "dates",
+                "lengths",
+                "segments",
+                "times",
+                "speeds",
+            ),
+            "database",
+            path,
+        )
         if int(data["version"]) != FORMAT_VERSION:
-            raise ValueError(f"unsupported database format {int(data['version'])}")
+            raise PersistFormatError(
+                f"unsupported database format {int(data['version'])} "
+                f"(supported: {FORMAT_VERSION})"
+            )
         database = TrajectoryDatabase(
             num_taxis=int(data["num_taxis"]), num_days=int(data["num_days"])
         )
@@ -220,25 +277,361 @@ def save_st_index(index, path: str | Path) -> Path:
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
-def load_st_index(path: str | Path, network: RoadNetwork):
-    """Inverse of :func:`save_st_index` (needs the matching network)."""
-    from repro.core.st_index import STIndex
-    from repro.storage.disk import SimulatedDisk
+def _validated_pointer(
+    first_page: int,
+    pages: int,
+    offset: int,
+    length: int,
+    num_pages_total: int,
+    page_size: int,
+    what: str,
+):
+    """Range-check one extent pointer; returns a ``RecordPointer``.
+
+    A corrupt pointer would otherwise serve wrong bytes (or charge the
+    wrong number of page reads) deep inside a query instead of failing
+    at load time.
+    """
     from repro.storage.pagestore import RecordPointer
 
-    with np.load(Path(path)) as data:
-        if int(data["version"]) != ST_INDEX_FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported ST-Index format {int(data['version'])}"
-            )
-        disk = SimulatedDisk.from_state(
-            data["pages"].tobytes(),
-            data["page_used"].tolist(),
-            page_size=int(data["page_size"]),
-            read_latency_ms=float(data["read_latency_ms"]),
-            write_latency_ms=float(data["write_latency_ms"]),
+    if (
+        pages < 1
+        or first_page < 0
+        or first_page + pages > num_pages_total
+        or offset < 0
+        or length < 0
+        or offset + length > pages * page_size
+    ):
+        raise PersistFormatError(
+            f"{what} pointer ({first_page}, {pages}, {offset}, {length}) "
+            "outside the persisted page range"
         )
+    return RecordPointer(first_page, pages, offset, length)
+
+
+def load_st_index(path: str | Path, network: RoadNetwork):
+    """Inverse of :func:`save_st_index` (needs the matching network).
+
+    Raises :class:`PersistFormatError` on a truncated or garbage file,
+    a missing array, an unsupported format version, or page/pointer
+    geometry that does not cohere — always before any data is served.
+    """
+    from repro.core.st_index import STIndex
+    from repro.storage.disk import DiskError, SimulatedDisk
+    from repro.storage.pagestore import RecordPointer
+
+    path = Path(path)
+    with _open_npz(path, "ST-Index") as data:
+        _npz_fields(
+            data,
+            (
+                "version",
+                "delta_t_s",
+                "page_size",
+                "read_latency_ms",
+                "write_latency_ms",
+                "buffer_pool_pages",
+                "record_cache_size",
+                "pages",
+                "page_used",
+                "dir_segment",
+                "dir_slot",
+                "dir_position",
+                "dir_first_page",
+                "dir_num_pages",
+                "dir_offset",
+                "dir_length",
+            ),
+            "ST-Index",
+            path,
+        )
+        if int(data["version"]) != ST_INDEX_FORMAT_VERSION:
+            raise PersistFormatError(
+                f"unsupported ST-Index format {int(data['version'])} "
+                f"(supported: {ST_INDEX_FORMAT_VERSION})"
+            )
+        dir_arrays = [
+            data["dir_segment"],
+            data["dir_slot"],
+            data["dir_position"],
+            data["dir_first_page"],
+            data["dir_num_pages"],
+            data["dir_offset"],
+            data["dir_length"],
+        ]
+        if len({arr.shape for arr in dir_arrays}) != 1 or dir_arrays[0].ndim != 1:
+            raise PersistFormatError(
+                f"ST-Index file {path} directory columns have mismatched shapes"
+            )
+        page_size = int(data["page_size"])
+        num_pages_total = int(data["page_used"].shape[0])
+        if data["pages"].size != num_pages_total * page_size:
+            raise PersistFormatError(
+                f"ST-Index file {path} page buffer holds {data['pages'].size} "
+                f"bytes, expected {num_pages_total} pages of {page_size}"
+            )
+        try:
+            disk = SimulatedDisk.from_state(
+                data["pages"].tobytes(),
+                data["page_used"].tolist(),
+                page_size=page_size,
+                read_latency_ms=float(data["read_latency_ms"]),
+                write_latency_ms=float(data["write_latency_ms"]),
+            )
+        except DiskError as exc:
+            raise PersistFormatError(
+                f"ST-Index file {path} page geometry is invalid: {exc}"
+            ) from None
         directory: dict[tuple[int, int], list[RecordPointer]] = {}
+        rows = zip(*(arr.tolist() for arr in dir_arrays))
+        for segment_id, slot, position, first_page, pages, offset, length in rows:
+            chain = directory.setdefault((segment_id, slot), [])
+            if position != len(chain):
+                raise PersistFormatError(
+                    "ST-Index directory rows out of chain order"
+                )
+            chain.append(
+                _validated_pointer(
+                    first_page,
+                    pages,
+                    offset,
+                    length,
+                    num_pages_total,
+                    page_size,
+                    "ST-Index",
+                )
+            )
+        return STIndex.restore(
+            network,
+            int(data["delta_t_s"]),
+            disk,
+            directory,
+            buffer_pool_pages=int(data["buffer_pool_pages"]),
+            record_cache_size=int(data["record_cache_size"]),
+        )
+
+
+# -- durable engine stores -----------------------------------------------------
+
+
+def _speed_model_to_json(model: dict) -> dict:
+    """JSON-safe speed model (int stat keys become strings)."""
+    out = dict(model)
+    for field in ("stats_min", "stats_max", "stats_sum", "stats_count"):
+        out[field] = {str(k): v for k, v in model[field].items()}
+    return out
+
+
+def _speed_model_from_json(payload: dict) -> dict:
+    model = dict(payload)
+    try:
+        for field in ("stats_min", "stats_max", "stats_sum", "stats_count"):
+            model[field] = {int(k): v for k, v in payload[field].items()}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistFormatError(f"speed model is malformed: {exc}") from None
+    return model
+
+
+def _directory_npz_bytes(
+    index, journal_generation: int, applied_commits: int
+) -> bytes:
+    """The store bundle's directory file, serialised for atomic publish.
+
+    ``journal_generation``/``applied_commits`` record which prefix of the
+    disk's journal this directory already reflects, so :func:`open_store`
+    replays exactly the suffix of appends committed after the save.
+    """
+    segments, slots, positions = [], [], []
+    first_pages, num_pages, offsets, lengths = [], [], [], []
+    for (segment_id, slot), chain in sorted(index._directory.items()):
+        for position, pointer in enumerate(chain):
+            segments.append(segment_id)
+            slots.append(slot)
+            positions.append(position)
+            first_pages.append(pointer.first_page)
+            num_pages.append(pointer.num_pages)
+            offsets.append(pointer.offset)
+            lengths.append(pointer.length)
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf,
+        version=np.int64(STORE_FORMAT_VERSION),
+        journal_generation=np.int64(journal_generation),
+        applied_commits=np.int64(applied_commits),
+        dir_segment=np.asarray(segments, dtype=np.int64),
+        dir_slot=np.asarray(slots, dtype=np.int64),
+        dir_position=np.asarray(positions, dtype=np.int64),
+        dir_first_page=np.asarray(first_pages, dtype=np.int64),
+        dir_num_pages=np.asarray(num_pages, dtype=np.int64),
+        dir_offset=np.asarray(offsets, dtype=np.int64),
+        dir_length=np.asarray(lengths, dtype=np.int64),
+    )
+    return buf.getvalue()
+
+
+def save_store(engine, directory: str | Path, delta_t_s: int) -> Path:
+    """Persist an engine as a durable, crash-safe store-bundle directory.
+
+    Layout: ``network.json``, ``speed_model.json``, ``store.json`` (the
+    knobs), ``directory.npz`` (the ST-Index directory plus the journal
+    position it reflects) and ``disk/`` (a :class:`FileBackedDisk`
+    store).  Every file is published with an atomic replace.
+
+    Two save paths:
+
+    * engine already on a ``FileBackedDisk`` at ``<directory>/disk`` —
+      the *in-place* save: write ``directory.npz`` first (it names the
+      journal prefix it covers), then checkpoint the disk.  A crash at
+      any point leaves a store that opens to exactly the pre- or
+      post-save state.
+    * any other disk — export the page buffer into a fresh
+      ``FileBackedDisk``.  ``directory.npz`` is removed up front and
+      rewritten last, so a crash mid-save leaves a store that
+      :func:`open_store` rejects as incomplete rather than one that
+      silently mixes old and new state.
+    """
+    from repro.storage.backends import FileBackedDisk, atomic_replace
+
+    index = engine.st_index(delta_t_s)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    disk_dir = directory / "disk"
+    index._store.flush()  # group commit: make the tail page durable
+    atomic_replace(
+        directory / "network.json",
+        json.dumps(network_to_dict(engine.network)).encode(),
+    )
+    atomic_replace(
+        directory / "speed_model.json",
+        json.dumps(_speed_model_to_json(engine.database.export_speed_model())).encode(),
+    )
+    atomic_replace(
+        directory / "store.json",
+        json.dumps(
+            {
+                "version": STORE_FORMAT_VERSION,
+                "delta_t_s": int(delta_t_s),
+                "engine_pool_pages": int(engine.buffer_pool_pages),
+                "st_pool_pages": int(index.pool.capacity),
+                "record_cache_size": int(index.record_cache_size),
+            },
+            indent=2,
+            sort_keys=True,
+        ).encode(),
+    )
+    in_place = isinstance(engine.disk, FileBackedDisk) and (
+        Path(engine.disk.path).resolve() == disk_dir.resolve()
+    )
+    if in_place:
+        disk = engine.disk
+        atomic_replace(
+            directory / "directory.npz",
+            _directory_npz_bytes(
+                index,
+                journal_generation=disk.generation,
+                applied_commits=disk.journal_record_count,
+            ),
+        )
+        disk.checkpoint()
+    else:
+        (directory / "directory.npz").unlink(missing_ok=True)
+        buffer, used = engine.disk.export_state()
+        disk = FileBackedDisk.create_from_state(
+            disk_dir,
+            buffer,
+            used,
+            page_size=engine.disk.page_size,
+            read_latency_ms=engine.disk.read_latency_ms,
+            write_latency_ms=engine.disk.write_latency_ms,
+        )
+        disk.close()
+        atomic_replace(
+            directory / "directory.npz",
+            _directory_npz_bytes(
+                index, journal_generation=disk.generation, applied_commits=0
+            ),
+        )
+    return directory
+
+
+def open_store(directory: str | Path, crash_plan=None, readonly: bool = False):
+    """Open a :func:`save_store` bundle as a cold, durable engine.
+
+    Loads the superblock, sidecar, journal and directory — but no data
+    pages: the returned engine's :class:`FileBackedDisk` faults pages in
+    (checksum-verified) on first access, so serving can begin before the
+    trajectory data is read.  Journal records committed after the last
+    save are replayed onto the directory, so appends survive without a
+    snapshot rewrite; replay is idempotent across repeated opens.
+
+    Raises :class:`PersistFormatError` for an incomplete or malformed
+    bundle and the disk's typed
+    :class:`~repro.storage.backends.CorruptSnapshotError` /
+    :class:`~repro.storage.backends.TornWriteError` for verified damage.
+    """
+    from repro.core.engine import ReachabilityEngine
+    from repro.core.st_index import STIndex
+    from repro.storage.backends import FileBackedDisk
+    from repro.storage.pagestore import RecordPointer
+    from repro.storage.serialization import (
+        SerializationError,
+        decode_append_delta,
+    )
+
+    directory = Path(directory)
+    for name in ("store.json", "network.json", "speed_model.json", "directory.npz"):
+        if not (directory / name).exists():
+            raise PersistFormatError(
+                f"store at {directory} is incomplete: missing {name}"
+            )
+    try:
+        config = json.loads((directory / "store.json").read_text())
+    except ValueError as exc:
+        raise PersistFormatError(f"store.json is not valid JSON: {exc}") from None
+    if not isinstance(config, dict) or config.get("version") != STORE_FORMAT_VERSION:
+        raise PersistFormatError(
+            f"unsupported store format {config.get('version')!r} "
+            f"(supported: {STORE_FORMAT_VERSION})"
+            if isinstance(config, dict)
+            else "store.json is not a JSON object"
+        )
+    delta_t_s = int(config["delta_t_s"])
+    disk = FileBackedDisk.open(
+        directory / "disk", crash_plan=crash_plan, readonly=readonly
+    )
+    network = load_network(directory / "network.json")
+    database = TrajectoryDatabase.from_speed_model(
+        _speed_model_from_json(json.loads((directory / "speed_model.json").read_text()))
+    )
+    page_size = disk.page_size
+    num_pages_total = disk.num_pages
+    dir_path = directory / "directory.npz"
+    pointer_map: dict[tuple[int, int], list[RecordPointer]] = {}
+    with _open_npz(dir_path, "store directory") as data:
+        _npz_fields(
+            data,
+            (
+                "version",
+                "journal_generation",
+                "applied_commits",
+                "dir_segment",
+                "dir_slot",
+                "dir_position",
+                "dir_first_page",
+                "dir_num_pages",
+                "dir_offset",
+                "dir_length",
+            ),
+            "store directory",
+            dir_path,
+        )
+        if int(data["version"]) != STORE_FORMAT_VERSION:
+            raise PersistFormatError(
+                f"unsupported store directory format {int(data['version'])} "
+                f"(supported: {STORE_FORMAT_VERSION})"
+            )
+        journal_generation = int(data["journal_generation"])
+        applied_commits = int(data["applied_commits"])
         rows = zip(
             data["dir_segment"].tolist(),
             data["dir_slot"].tolist(),
@@ -248,36 +641,79 @@ def load_st_index(path: str | Path, network: RoadNetwork):
             data["dir_offset"].tolist(),
             data["dir_length"].tolist(),
         )
-        page_size = int(data["page_size"])
-        num_pages_total = int(data["page_used"].shape[0])
         for segment_id, slot, position, first_page, pages, offset, length in rows:
-            chain = directory.setdefault((segment_id, slot), [])
+            chain = pointer_map.setdefault((segment_id, slot), [])
             if position != len(chain):
-                raise ValueError("ST-Index directory rows out of chain order")
-            # Validate extent geometry up front: a corrupt pointer would
-            # otherwise serve wrong bytes (or charge the wrong number of
-            # page reads) deep inside a query instead of failing here.
-            if (
-                pages < 1
-                or first_page < 0
-                or first_page + pages > num_pages_total
-                or offset < 0
-                or length < 0
-                or offset + length > pages * page_size
-            ):
-                raise ValueError(
-                    f"ST-Index pointer ({first_page}, {pages}, {offset}, "
-                    f"{length}) outside the persisted page range"
+                raise PersistFormatError(
+                    "store directory rows out of chain order"
                 )
-            chain.append(RecordPointer(first_page, pages, offset, length))
-        return STIndex.restore(
-            network,
-            int(data["delta_t_s"]),
-            disk,
-            directory,
-            buffer_pool_pages=int(data["buffer_pool_pages"]),
-            record_cache_size=int(data["record_cache_size"]),
+            chain.append(
+                _validated_pointer(
+                    first_page,
+                    pages,
+                    offset,
+                    length,
+                    num_pages_total,
+                    page_size,
+                    "store directory",
+                )
+            )
+    # Replay the journal suffix the saved directory does not yet reflect.
+    metas = disk.journal_metas
+    if disk.generation == journal_generation:
+        applied = min(applied_commits, len(metas))
+    elif disk.generation > journal_generation:
+        # A checkpoint ran after the directory was saved; the saved
+        # directory already covers everything the old journal held, and
+        # the current journal holds only post-save commits.
+        applied = 0
+    else:
+        raise PersistFormatError(
+            f"store directory reflects disk generation {journal_generation}, "
+            f"newer than the disk's generation {disk.generation}"
         )
+    for meta in metas[applied:]:
+        if not meta:
+            continue
+        try:
+            meta_delta_t, entries = decode_append_delta(meta)
+        except SerializationError as exc:
+            raise PersistFormatError(
+                f"journal append delta is malformed: {exc}"
+            ) from None
+        if meta_delta_t != delta_t_s:
+            raise PersistFormatError(
+                f"journal append delta was written at Δt={meta_delta_t}s, "
+                f"store is Δt={delta_t_s}s"
+            )
+        for segment_id, slot, first_page, pages, offset, length in entries:
+            pointer_map.setdefault((segment_id, slot), []).append(
+                _validated_pointer(
+                    first_page,
+                    pages,
+                    offset,
+                    length,
+                    num_pages_total,
+                    page_size,
+                    "journal append delta",
+                )
+            )
+    engine = ReachabilityEngine(
+        network,
+        database,
+        disk=disk,
+        buffer_pool_pages=int(config.get("engine_pool_pages", 1024)),
+    )
+    index = STIndex.restore(
+        network,
+        delta_t_s,
+        disk,
+        pointer_map,
+        buffer_pool_pages=int(config.get("st_pool_pages", 512)),
+        record_cache_size=int(config.get("record_cache_size", 4096)),
+    )
+    engine.install_st_index(delta_t_s, index)
+    return engine
 
 
 # -- whole datasets ---------------------------------------------------------------

@@ -30,6 +30,7 @@ from repro.core.engine import ReachabilityEngine
 from repro.io.persist import network_to_dict
 from repro.network.model import RoadNetwork
 from repro.spatial.geometry import Point
+from repro.storage.backends import FileBackedDisk
 
 #: Safety margin, in maximum segment lengths, added to the halo radius on
 #: top of the speed-and-duration travel bound: covers midpoint-vs-path
@@ -102,6 +103,11 @@ class ShardPayload:
     engine_pool_pages: int
     st_pool_pages: int
     record_cache_size: int
+    #: Durable-store reference mode: when set, ``disk_buffer``/``disk_used``
+    #: are empty and the worker opens this FileBackedDisk store read-only,
+    #: faulting in (and checksum-verifying) only the pages its shard's
+    #: pointers actually touch — the payload ships a path, not the data.
+    disk_path: str | None = None
 
 
 def reach_m(duration_s: float, delta_t_s: float, v_max_mps: float,
@@ -289,14 +295,24 @@ def export_shard_payload(
     st_index = engine.st_index(delta_t_s)
     members = spec.members
     directory = st_index.export_directory(members)
-    page_ids: set[int] = set()
-    for chain in directory.values():
-        for pointer in chain:
-            page_ids.update(
-                range(pointer.first_page, pointer.first_page + pointer.num_pages)
-            )
     disk = engine.disk
-    buffer, used = disk.export_sparse_state(page_ids)
+    disk_path: str | None = None
+    if isinstance(disk, FileBackedDisk) and disk.is_synced:
+        # Reference mode: every page is durable in the store, so the
+        # payload ships the path instead of the buffer.  Unsynced disks
+        # (or the RAM backend) fall back to the sparse buffer export.
+        buffer, used = b"", ()
+        disk_path = disk.path
+    else:
+        page_ids: set[int] = set()
+        for chain in directory.values():
+            for pointer in chain:
+                page_ids.update(
+                    range(
+                        pointer.first_page, pointer.first_page + pointer.num_pages
+                    )
+                )
+        buffer, used = disk.export_sparse_state(page_ids)
     subnetwork = build_subnetwork(engine.network, members)
     return ShardPayload(
         shard_id=spec.shard_id,
@@ -312,6 +328,7 @@ def export_shard_payload(
         engine_pool_pages=engine.buffer_pool_pages,
         st_pool_pages=st_index.pool.capacity,
         record_cache_size=st_index.record_cache_size,
+        disk_path=disk_path,
     )
 
 

@@ -56,6 +56,7 @@ from repro.serving.protocol import (
     pack_result,
     parse_command,
 )
+from repro.storage.backends import FileBackedDisk
 from repro.storage.disk import SimulatedDisk
 from repro.trajectory.store import TrajectoryDatabase
 
@@ -64,13 +65,22 @@ def build_shard_engine(payload: ShardPayload) -> ReachabilityEngine:
     """Reconstruct one shard's engine from its spawn-safe payload."""
     network = network_from_dict(payload.network)
     database = TrajectoryDatabase.from_speed_model(payload.speed_model)
-    disk = SimulatedDisk.from_state(
-        payload.disk_buffer,
-        payload.disk_used,
-        payload.page_size,
-        read_latency_ms=payload.read_latency_ms,
-        write_latency_ms=payload.write_latency_ms,
-    )
+    if payload.disk_path is not None:
+        # Durable-store reference: open read-only and fault in only the
+        # pages this shard's pointers touch, checksum-verified.  The
+        # worker never writes the file, so any number of workers can
+        # share one store.
+        disk: SimulatedDisk = FileBackedDisk.open(
+            payload.disk_path, readonly=True
+        )
+    else:
+        disk = SimulatedDisk.from_state(
+            payload.disk_buffer,
+            payload.disk_used,
+            payload.page_size,
+            read_latency_ms=payload.read_latency_ms,
+            write_latency_ms=payload.write_latency_ms,
+        )
     engine = ReachabilityEngine(
         network,
         database,

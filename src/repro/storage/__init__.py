@@ -16,9 +16,23 @@ savings first-class and measurable:
   with single-flight misses; only cache misses charge disk reads,
   mirroring a DBMS buffer manager.
 * :mod:`~repro.storage.serialization` — compact binary record codecs.
+* :mod:`~repro.storage.backends` — pluggable disk backends: the in-RAM
+  default plus the durable, checksummed, journaled
+  :class:`~repro.storage.backends.filedisk.FileBackedDisk`.
+* :mod:`~repro.storage.crashsim` — deterministic crash/corruption
+  injection for proving the durable backend's recovery guarantees.
 """
 
-from repro.storage.disk import DiskStats, SimulatedDisk
+from repro.storage.backends import (
+    DISK_BACKENDS,
+    CorruptSnapshotError,
+    DiskFormatError,
+    DurabilityError,
+    FileBackedDisk,
+    TornWriteError,
+    create_disk,
+)
+from repro.storage.disk import DiskError, DiskStats, SimulatedDisk
 from repro.storage.pagestore import (
     DEFAULT_POOL_SHARDS,
     BufferPool,
@@ -34,7 +48,15 @@ from repro.storage.serialization import (
 
 __all__ = [
     "SimulatedDisk",
+    "FileBackedDisk",
+    "create_disk",
+    "DISK_BACKENDS",
+    "DiskError",
     "DiskStats",
+    "DurabilityError",
+    "DiskFormatError",
+    "CorruptSnapshotError",
+    "TornWriteError",
     "PageStore",
     "BufferPool",
     "RecordPointer",

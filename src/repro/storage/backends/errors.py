@@ -1,0 +1,55 @@
+"""Typed failures of the durable storage tier.
+
+Everything the file backend can detect wrong with its on-disk state maps
+to one of these — a reopen either succeeds with verified state or raises
+an error that *names the damage* (which page, which file, which journal
+record).  Raw ``struct``/``zlib``/``OSError`` noise never escapes.
+"""
+
+from __future__ import annotations
+
+from repro.storage.disk import DiskError
+
+
+class DurabilityError(DiskError):
+    """Base class for durable-backend failures."""
+
+
+class DiskFormatError(DurabilityError):
+    """The on-disk layout is not something this backend ever wrote.
+
+    Raised for a missing/garbled superblock, a bad magic string, or a
+    format version newer than this code understands — the store may be
+    fine, but this reader cannot interpret it.
+    """
+
+
+class CorruptSnapshotError(DurabilityError):
+    """A durable snapshot failed checksum verification.
+
+    Raised when a data page's content does not match its sidecar
+    checksum, when the sidecar itself does not match the checksum
+    recorded in the superblock, or when the superblock fails its own
+    self-checksum.  The message names the damaged unit (page id or
+    file).  Detected damage is never served as data.
+    """
+
+    def __init__(self, message: str, page_id: int | None = None) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+
+
+class TornWriteError(DurabilityError):
+    """The append journal is damaged somewhere other than a clean tail.
+
+    A truncated or checksum-failing *final* record is the expected
+    signature of a crash mid-append and is silently discarded during
+    recovery.  Damage anywhere else — bad framing magic mid-file, a CRC
+    mismatch on a record that has successors — cannot be explained by a
+    single crash and is surfaced as this error, naming the record index
+    and byte offset.
+    """
+
+    def __init__(self, message: str, record_index: int | None = None) -> None:
+        super().__init__(message)
+        self.record_index = record_index

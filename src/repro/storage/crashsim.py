@@ -1,0 +1,235 @@
+"""Deterministic crash and corruption injection for the durable backend.
+
+The durable storage tier makes the same promise PR 9's serving layer
+made: every failure mode is reproducible from a plan, never from timing.
+Crashes fire on **operation counters** (the Nth fsync barrier, the Nth
+snapshot rename, the Nth journal record a disk instance writes), exactly
+the way :mod:`repro.serving.faults` keys worker faults on message
+counters, so a test that injects a plan observes the identical on-disk
+state on every run without sleeps, subprocesses or real power cuts:
+
+* ``CRASH_BEFORE_FSYNC`` — the process dies after issuing a write but
+  before the matching ``fsync`` barrier completes.  A real kernel may
+  never have put those bytes on the platter, so the injector *undoes*
+  the unsynced write (deleting the temp file / truncating the journal
+  back) before raising: the reopened store must recover to the previous
+  durable state.
+* ``CRASH_MID_RENAME`` — the temp file is fully written and fsynced but
+  the process dies before the atomic ``rename`` publishes it.  The
+  orphaned ``*.tmp`` file is left behind; the reopened store must ignore
+  it and serve the old snapshot.
+* ``TORN_PAGE_WRITE`` — a journal record's page payload is only
+  partially written when the process dies (a torn sector write): the
+  record's framing is intact but its payload checksum cannot match.
+* ``TRUNCATED_JOURNAL_RECORD`` — the process dies mid-header: the
+  journal ends in a fragment too short to even frame a record.
+
+The injected "crash" is a raised :class:`SimulatedCrash`; the test
+discards the in-memory disk object (the process's RAM "died") and
+reopens the on-disk directory, which is now in exactly the state a real
+crash at that point would leave.  Corruption — bit flips in a data page,
+the checksum sidecar or the superblock of a *closed* store — is injected
+by the ``corrupt_*`` helpers below and must surface as a typed
+:class:`~repro.storage.backends.CorruptSnapshotError` /
+:class:`~repro.storage.backends.TornWriteError` naming the damage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple
+
+CRASH_BEFORE_FSYNC = "crash_before_fsync"
+CRASH_MID_RENAME = "crash_mid_rename"
+TORN_PAGE_WRITE = "torn_page_write"
+TRUNCATED_JOURNAL_RECORD = "truncated_journal_record"
+
+CRASH_KINDS = frozenset(
+    {
+        CRASH_BEFORE_FSYNC,
+        CRASH_MID_RENAME,
+        TORN_PAGE_WRITE,
+        TRUNCATED_JOURNAL_RECORD,
+    }
+)
+
+#: Size of a journal record header (magic + payload length + payload
+#: CRC), mirrored from the backend's framing so the torn-write injector
+#: can leave an intact header with a damaged payload.
+JOURNAL_HEADER_SIZE = 12
+
+
+class SimulatedCrash(BaseException):
+    """The injected process death.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so no
+    ``except Exception`` recovery path inside the storage tier can
+    accidentally "survive" a crash that is supposed to kill the process
+    — the test harness catches it explicitly at the top.
+    """
+
+    def __init__(self, spec: "CrashSpec") -> None:
+        super().__init__(f"simulated crash: {spec.kind} (occurrence {spec.at})")
+        self.spec = spec
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One injected crash: *what* dies and *when*.
+
+    Attributes:
+        kind: one of the ``CRASH_KINDS`` constants.
+        at: 1-based trigger count on the matching operation counter —
+            the disk's Nth fsync barrier for ``CRASH_BEFORE_FSYNC``,
+            its Nth snapshot rename for ``CRASH_MID_RENAME``, its Nth
+            journal record for the torn/truncated kinds.  Counters are
+            per disk instance (a reopened disk starts fresh).
+    """
+
+    kind: str
+    at: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in CRASH_KINDS:
+            raise ValueError(f"unknown crash kind {self.kind!r}")
+        if self.at < 1:
+            raise ValueError(f"crash trigger count must be >= 1, got {self.at}")
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """An immutable set of :class:`CrashSpec` entries (plain data)."""
+
+    crashes: Tuple[CrashSpec, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def of(cls, *specs: CrashSpec) -> "CrashPlan":
+        return cls(crashes=tuple(specs))
+
+
+class CrashInjector:
+    """Disk-side trigger bookkeeping for one disk instance.
+
+    The file backend consults the injector at its three durability hook
+    points: :meth:`on_fsync` immediately before every ``fsync`` barrier
+    (given an ``undo`` callback that reverts the unsynced write),
+    :meth:`on_rename` immediately before every snapshot ``rename``, and
+    :meth:`journal_spec` once per journal record append (the caller
+    writes the torn prefix from :func:`torn_prefix` and raises).
+    """
+
+    def __init__(self, plan: Optional[CrashPlan]) -> None:
+        self._specs = plan.crashes if plan is not None else ()
+        self._fsync_count = 0
+        self._rename_count = 0
+        self._journal_count = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self._specs)
+
+    def on_fsync(self, undo=None) -> None:
+        """Hook before an ``fsync``; undoes the unsynced write and dies."""
+        self._fsync_count += 1
+        for spec in self._specs:
+            if spec.kind == CRASH_BEFORE_FSYNC and spec.at == self._fsync_count:
+                if undo is not None:
+                    undo()
+                raise SimulatedCrash(spec)
+
+    def on_rename(self) -> None:
+        """Hook before a snapshot ``rename``; dies with the temp left behind."""
+        self._rename_count += 1
+        for spec in self._specs:
+            if spec.kind == CRASH_MID_RENAME and spec.at == self._rename_count:
+                raise SimulatedCrash(spec)
+
+    def journal_spec(self) -> Optional[CrashSpec]:
+        """The torn/truncated spec firing for this journal record, if any."""
+        self._journal_count += 1
+        for spec in self._specs:
+            if (
+                spec.kind in (TORN_PAGE_WRITE, TRUNCATED_JOURNAL_RECORD)
+                and spec.at == self._journal_count
+            ):
+                return spec
+        return None
+
+
+def torn_prefix(record: bytes, kind: str) -> bytes:
+    """The fragment of ``record`` that reaches disk before the crash.
+
+    ``TORN_PAGE_WRITE`` keeps the header and roughly half the payload
+    (the framing parses, the payload CRC cannot match);
+    ``TRUNCATED_JOURNAL_RECORD`` keeps only part of the header (the
+    journal ends mid-frame).
+    """
+    if kind == TORN_PAGE_WRITE:
+        keep = JOURNAL_HEADER_SIZE + max(1, (len(record) - JOURNAL_HEADER_SIZE) // 2)
+        return record[: min(keep, len(record) - 1)]
+    if kind == TRUNCATED_JOURNAL_RECORD:
+        return record[: JOURNAL_HEADER_SIZE // 2]
+    raise ValueError(f"not a torn-write crash kind: {kind!r}")
+
+
+# -- corruption injection (closed stores) --------------------------------------
+#
+# These operate on the files of a *closed* FileBackedDisk directory and
+# model silent media corruption: a single flipped bit in a data page,
+# the checksum sidecar, the superblock, or a journal record.  They read
+# the superblock as plain JSON (no validation — they must work on the
+# files exactly as persisted) to locate the current generation's files.
+
+
+def _read_generation(directory: str | Path) -> int:
+    payload = json.loads((Path(directory) / "superblock.json").read_text())
+    return int(payload["generation"])
+
+
+def _flip_bit(path: Path, byte_offset: int, bit: int = 0) -> None:
+    data = bytearray(path.read_bytes())
+    if not 0 <= byte_offset < len(data):
+        raise ValueError(
+            f"byte offset {byte_offset} outside {path.name} ({len(data)} bytes)"
+        )
+    data[byte_offset] ^= 1 << (bit & 7)
+    path.write_bytes(bytes(data))
+
+
+def corrupt_page(directory: str | Path, page_id: int, page_size: int) -> None:
+    """Flip one bit inside ``page_id`` of the persisted data file."""
+    gen = _read_generation(directory)
+    _flip_bit(Path(directory) / f"pages.{gen}.bin", page_id * page_size)
+
+
+def corrupt_sidecar(directory: str | Path, page_id: int = 0) -> None:
+    """Flip one bit inside the per-page checksum sidecar."""
+    gen = _read_generation(directory)
+    _flip_bit(Path(directory) / f"pages.{gen}.crc", page_id * 8)
+
+
+def corrupt_superblock(directory: str | Path) -> None:
+    """Flip one bit inside the superblock JSON."""
+    _flip_bit(Path(directory) / "superblock.json", 12)
+
+
+def corrupt_journal_record(directory: str | Path, record_index: int = 0) -> None:
+    """Flip one bit in the payload of the Nth journal record.
+
+    Walks the record framing (magic, payload length, payload CRC) far
+    enough to find the target record's payload, then flips its first
+    bit — interior corruption a reopen must surface as a
+    :class:`~repro.storage.backends.TornWriteError`, never replay.
+    """
+    import struct
+
+    gen = _read_generation(directory)
+    path = Path(directory) / f"journal.{gen}.log"
+    data = path.read_bytes()
+    offset = 0
+    for _ in range(record_index):
+        _, length, _ = struct.unpack_from("<4sII", data, offset)
+        offset += JOURNAL_HEADER_SIZE + length
+    _flip_bit(path, offset + JOURNAL_HEADER_SIZE)

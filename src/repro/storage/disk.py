@@ -205,6 +205,7 @@ class SimulatedDisk:
         local = self._local_stats()
         with self._lock:
             used = self._used_checked(page_id)
+            self._ensure_resident_locked(page_id, 1)
             self.stats.page_reads += 1
             self.stats.bytes_read += used
             local.page_reads += 1
@@ -244,9 +245,11 @@ class SimulatedDisk:
         local = self._local_stats()
         with self._lock:
             self._used_checked(page_id)
+            self._ensure_resident_locked(page_id, 1)
             start = page_id * self.page_size
             self._buf[start : start + len(payload)] = payload
             self._used[page_id] = len(payload)
+            self._note_write_locked(page_id)
             self.stats.page_writes += 1
             self.stats.bytes_written += len(payload)
             local.page_writes += 1
@@ -273,6 +276,10 @@ class SimulatedDisk:
         with self._lock:
             if start + length > len(self._buf):
                 raise DiskError("extent slice beyond allocated pages")
+            if length > 0:
+                span_first = start // self.page_size
+                span_last = (start + length - 1) // self.page_size
+                self._ensure_resident_locked(span_first, span_last - span_first + 1)
             return bytes(self._buf[start : start + length])
 
     def attach_pool(self, pool: BufferPool) -> None:
@@ -365,8 +372,13 @@ class SimulatedDisk:
     # -- persistence ----------------------------------------------------
 
     def export_state(self) -> tuple[bytes, tuple[int, ...]]:
-        """The backing buffer and per-page payload lengths, for persisting."""
+        """The backing buffer and per-page payload lengths, for persisting.
+
+        Snapshotted atomically under ``_lock`` so a save racing a
+        threaded batch can never export a half-written tail page.
+        """
         with self._lock:
+            self._ensure_resident_locked(0, len(self._used))
             return bytes(self._buf), tuple(self._used)
 
     def export_sparse_state(
@@ -389,6 +401,7 @@ class SimulatedDisk:
             used = [0] * num_pages
             for page_id in wanted:
                 self._used_checked(page_id)
+                self._ensure_resident_locked(page_id, 1)
                 start = page_id * self.page_size
                 buf[start : start + self.page_size] = self._buf[
                     start : start + self.page_size
@@ -423,7 +436,38 @@ class SimulatedDisk:
         disk._used = used_list
         return disk
 
+    def commit(self, meta: bytes = b"") -> None:
+        """Durability barrier: make all writes since the last commit durable.
+
+        The in-RAM backend has nothing to persist, so this is a no-op —
+        but callers that mutate pages (``STIndex.append_trajectories``)
+        route through it unconditionally, and the file-backed backend
+        overrides it to append a journal record.  ``meta`` is an opaque
+        blob the backend stores alongside the pages (the index ships its
+        directory delta here) and returns verbatim from a reopened
+        store's ``journal_metas``.
+        """
+
     # -- internal --------------------------------------------------------
+
+    # repro-lint: holds=_lock
+    def _ensure_resident_locked(self, first_page: int, count: int) -> None:
+        """Backend hook: fault ``count`` pages into ``_buf`` before access.
+
+        The in-RAM backend's buffer is always resident, so this is a
+        no-op; the file-backed backend overrides it to read and
+        checksum-verify pages from the data file on first touch.  Called
+        with ``_lock`` held, immediately before any code path that reads
+        or overwrites bytes of ``_buf``.
+        """
+
+    # repro-lint: holds=_lock
+    def _note_write_locked(self, page_id: int) -> None:
+        """Backend hook: record that ``page_id`` now differs from the file.
+
+        No-op in RAM; the file-backed backend marks the page dirty so
+        the next :meth:`commit` journals it.  Called with ``_lock`` held.
+        """
 
     def _local_stats(self) -> DiskStats:
         stats = getattr(self._tlocal, "stats", None)

@@ -88,6 +88,47 @@ def decode_str(payload: bytes) -> str:
     return raw.decode("utf-8")
 
 
+def encode_append_delta(
+    delta_t_s: int,
+    entries: list[tuple[int, int, int, int, int, int]]
+    | tuple[tuple[int, int, int, int, int, int], ...],
+) -> bytes:
+    """Encode an ST-Index directory delta for the durable append journal.
+
+    ``entries`` are the directory rows an ``append_trajectories`` call
+    added, as plain int tuples ``(segment_id, slot, first_page,
+    num_pages, offset, length)`` — a record pointer appended to the
+    ``(segment_id, slot)`` chain.  The slot width tags the delta so a
+    reopened store can refuse to apply a journal written at a different
+    index granularity.  Plain tuples keep this codec free of any import
+    of the index or pagestore layers.
+    """
+    parts = [_encode_varint(delta_t_s), _encode_varint(len(entries))]
+    for entry in entries:
+        if len(entry) != 6:
+            raise SerializationError(f"append-delta entry must have 6 fields, got {entry!r}")
+        parts.extend(_encode_varint(v) for v in entry)
+    return b"".join(parts)
+
+
+def decode_append_delta(
+    payload: bytes,
+) -> tuple[int, tuple[tuple[int, int, int, int, int, int], ...]]:
+    """Inverse of :func:`encode_append_delta`."""
+    delta_t_s, offset = _decode_varint(payload, 0)
+    count, offset = _decode_varint(payload, offset)
+    entries = []
+    for _ in range(count):
+        fields = []
+        for _ in range(6):
+            value, offset = _decode_varint(payload, offset)
+            fields.append(value)
+        entries.append(tuple(fields))
+    if offset != len(payload):
+        raise SerializationError("trailing bytes after append delta")
+    return delta_t_s, tuple(entries)
+
+
 def encode_float_list(values: list[float] | tuple[float, ...]) -> bytes:
     """Encode floats as count-prefixed little-endian doubles."""
     return struct.pack("<I", len(values)) + struct.pack(

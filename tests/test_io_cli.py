@@ -264,3 +264,85 @@ class TestCLI:
         assert code == 0
         assert (tmp_path / "mini" / "network.json").exists()
         assert (tmp_path / "mini" / "database.npz").exists()
+
+
+@pytest.mark.durability
+class TestCLIDurableStore:
+    """`repro save` -> `repro open` / `repro batch --open` round trip."""
+
+    @pytest.fixture(scope="class")
+    def dataset_dir(self, test_dataset, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli-store") / "ds"
+        save_dataset(test_dataset, directory)
+        return str(directory)
+
+    @pytest.fixture(scope="class")
+    def store_dir(self, dataset_dir, tmp_path_factory):
+        store = tmp_path_factory.mktemp("cli-store") / "store"
+        assert main(["save", "--dataset", dataset_dir,
+                     "--store", str(store)]) == 0
+        return str(store)
+
+    def test_save_reports_store(self, store_dir, capsys):
+        from pathlib import Path
+
+        capsys.readouterr()  # drop the fixture's own save output
+        assert (Path(store_dir) / "disk" / "superblock.json").exists()
+
+    def test_open_serves_cold_query(self, store_dir, capsys):
+        code = main([
+            "open", "--store", store_dir, "--no-map",
+            "--x", "0", "--y", "0", "--time", "11:00",
+            "--duration", "10", "--prob", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "opened store" in out
+        assert "Prob-reachable region" in out
+        assert "cold pages faulted:" in out
+
+    def test_open_matches_dataset_query(self, dataset_dir, store_dir, capsys):
+        query_args = [
+            "--no-map", "--x", "0", "--y", "0", "--time", "11:00",
+            "--duration", "10", "--prob", "0.2",
+        ]
+        assert main(["query", "--dataset", dataset_dir, *query_args]) == 0
+        from_dataset = capsys.readouterr().out
+        assert main(["open", "--store", store_dir, *query_args]) == 0
+        from_store = capsys.readouterr().out
+        line = next(
+            l for l in from_dataset.splitlines() if "Prob-reachable" in l
+        )
+        assert line in from_store
+
+    def test_batch_open(self, store_dir, capsys):
+        code = main([
+            "batch", "--open", store_dir,
+            "--s-queries", "2", "--m-queries", "1", "--r-queries", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Batch report" in out
+
+    def test_batch_rejects_dataset_and_open(self, dataset_dir, store_dir, capsys):
+        code = main([
+            "batch", "--dataset", dataset_dir, "--open", store_dir,
+        ])
+        assert code == 2
+        assert "--open" in capsys.readouterr().err
+
+    def test_batch_needs_some_source(self, capsys):
+        assert main(["batch", "--s-queries", "1"]) == 2
+        assert "--dataset" in capsys.readouterr().err
+
+    def test_open_missing_store_friendly_error(self, tmp_path, capsys):
+        code = main(["open", "--store", str(tmp_path / "nope"), "--no-map"])
+        assert code == 2
+        assert "cannot open store" in capsys.readouterr().err
+
+    def test_query_disk_file_needs_path(self, dataset_dir, capsys):
+        code = main([
+            "query", "--dataset", dataset_dir, "--no-map", "--disk", "file",
+        ])
+        assert code == 2
+        assert "--disk-path" in capsys.readouterr().err

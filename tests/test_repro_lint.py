@@ -776,6 +776,60 @@ class TestReintroducedViolationsFailGate:
             for f in findings
         )
 
+    def test_rl011_commit_bypasses_journal_append(self, src_copy):
+        # Acceptance criterion: making commit write the journal with a
+        # bare open(..., "ab") instead of the fsynced append fails the
+        # gate — the torn-write window the tier exists to close.
+        filedisk = src_copy / "repro" / "storage" / "backends" / "filedisk.py"
+        text = filedisk.read_text(encoding="utf-8")
+        needle = "            self._journal_append_locked(payload)\n"
+        assert needle in text
+        text = text.replace(
+            needle,
+            '            with open(self._file("log"), "ab") as raw:\n'
+            "                raw.write(payload)\n",
+            1,
+        )
+        filedisk.write_text(text, encoding="utf-8")
+        findings = [f for f in self.lint(src_copy) if f.rule == "RL011"]
+        assert findings and any(
+            "unsafe durable-write path" in f.message
+            and "FileBackedDisk.commit" in f.message
+            for f in findings
+        )
+
+    def test_rl011_save_path_raw_write(self, src_copy):
+        # Routing one of save_store's bundle files around atomic_replace
+        # (write_bytes straight to the target path) fails the gate.
+        persist = src_copy / "repro" / "io" / "persist.py"
+        text = persist.read_text(encoding="utf-8")
+        needle = 'atomic_replace(\n        directory / "network.json",'
+        assert needle in text
+        text = text.replace(
+            needle,
+            '_raw_write(\n        directory / "network.json",',
+            1,
+        )
+        text += "\n\ndef _raw_write(path, data):\n    path.write_bytes(data)\n"
+        persist.write_text(text, encoding="utf-8")
+        findings = [f for f in self.lint(src_copy) if f.rule == "RL011"]
+        assert findings and any(
+            "unsafe durable-write path" in f.message
+            and "save_store" in f.message
+            for f in findings
+        )
+
+    def test_rl011_barrier_annotation_is_load_bearing(self, src_copy):
+        # Stripping the durable-barrier audit mark off atomic_replace
+        # exposes its internal os.write/os.open on every save path.
+        atomic = src_copy / "repro" / "storage" / "backends" / "atomic.py"
+        text = atomic.read_text(encoding="utf-8")
+        needle = "# repro-lint: durable-barrier\n"
+        assert needle in text
+        atomic.write_text(text.replace(needle, "", 1), encoding="utf-8")
+        findings = [f for f in self.lint(src_copy) if f.rule == "RL011"]
+        assert findings and any("atomic_replace" in f.message for f in findings)
+
 
 class TestLockGraphCli:
     """--write-lock-graph / --check-lock-graph: the committed-artifact

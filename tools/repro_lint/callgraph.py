@@ -300,6 +300,34 @@ class _FunctionResolver:
             self._record(call, kind, callee)
             return
         if isinstance(func, ast.Attribute):
+            # ``super().method(...)`` — resolve on the enclosing class's
+            # project-resolvable bases (the zero-argument form, which is
+            # the only one the codebase uses).  Without this the call
+            # would fall through to the name fallback and fan out to
+            # every same-named method — e.g. an exception subclass's
+            # ``super().__init__`` growing edges to every ``__init__``
+            # in the project.
+            if (
+                isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super"
+                and not func.value.args
+                and self.fn.cls is not None
+            ):
+                cls = table.classes.get(self.fn.cls)
+                if cls is not None:
+                    for base in cls.bases:
+                        base_cls = table.resolve_class_name(base, cls.module)
+                        if base_cls is None:
+                            continue
+                        method = table.method_on(base_cls, func.attr)
+                        if method is not None:
+                            self._record(call, "method", method)
+                            return
+                # The base chain leaves the project (e.g. Exception):
+                # external method, out of scope — same as a typed
+                # receiver resolving to a non-project class.
+                return
             receiver = self._receiver_class(func.value)
             if receiver is not None:
                 # Typed receiver but unknown method: a project class is

@@ -11,4 +11,5 @@ from tools.repro_lint.rules import (  # noqa: F401
     rl008_counter_drift,
     rl009_protocol,
     rl010_recv_deadline,
+    rl011_durability,
 )
